@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one figure of the paper's evaluation: it runs
+the corresponding experiment sweep inside ``pytest-benchmark`` (one round
+— the simulation is deterministic), prints the paper-style table, and
+asserts the qualitative shape (who wins, roughly by how much).
+
+Scale control: ``REPRO_SWEEP=small`` (default, 64/256/1024 processes),
+``REPRO_SWEEP=paper`` (the full 64..8192 sweep of §III-A), or an explicit
+comma list, e.g. ``REPRO_SWEEP=64,512``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer and return its
+    result (simulations are deterministic: repetition adds nothing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return _run

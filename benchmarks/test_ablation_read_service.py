@@ -1,0 +1,69 @@
+"""Ablation — location-aware read service on/off (§II-B4).
+
+With the service disabled every read funnels through the co-located
+server (extra memory copy on local hits, doubled metadata hops, and a
+second network crossing for shared-BB segments).  The paper presents the
+service as a design feature without an isolated figure; this bench
+quantifies it on both a DRAM-resident and a BB-resident dataset.
+"""
+
+from repro.core.config import UniviStorConfig
+from repro.experiments.common import build_simulation, io_rate, sweep
+from repro.units import MiB
+from repro.workloads import MicroBench
+
+
+def read_rate(procs: int, label: str, location_aware: bool) -> float:
+    config = {"UniviStor/DRAM": UniviStorConfig.dram_only,
+              "UniviStor/BB": UniviStorConfig.bb_only}[label]()
+    if not location_aware:
+        config = config.without("location_aware_reads")
+    sim, fstype = build_simulation(procs, label, config=config)
+    comm = sim.comm("iobench", size=procs)
+    bench = MicroBench(sim, comm, "/pfs/m.h5", fstype,
+                       bytes_per_proc=256 * MiB)
+
+    def app():
+        yield from bench.write_phase()
+        sim.telemetry.clear()
+        yield from bench.read_phase()
+
+    sim.run_to_completion(app())
+    return io_rate(sim, "iobench", ops=("open", "read", "close"),
+                   data_ops=("read",))
+
+
+class TestReadServiceAblation:
+    def test_location_aware_speeds_local_reads(self, benchmark):
+        def run():
+            out = {}
+            for procs in sweep():
+                out[procs] = (read_rate(procs, "UniviStor/DRAM", True),
+                              read_rate(procs, "UniviStor/DRAM", False))
+            return out
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        print("\nprocs  LA-on(GB/s)  LA-off(GB/s)  speedup")
+        for procs, (on, off) in results.items():
+            print(f"{procs:5d}  {on/1e9:11.2f}  {off/1e9:11.2f}  "
+                  f"{on/off:6.2f}x")
+            assert on > off, f"location-aware must help at {procs}"
+            # Local hits skip one server-side memory copy (~1/0.65).
+            assert 1.2 <= on / off <= 2.2
+
+    def test_location_aware_speeds_bb_reads(self, benchmark):
+        def run():
+            out = {}
+            for procs in sweep():
+                out[procs] = (read_rate(procs, "UniviStor/BB", True),
+                              read_rate(procs, "UniviStor/BB", False))
+            return out
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        print("\nprocs  LA-on(GB/s)  LA-off(GB/s)  speedup")
+        for procs, (on, off) in results.items():
+            print(f"{procs:5d}  {on/1e9:11.2f}  {off/1e9:11.2f}  "
+                  f"{on/off:6.2f}x")
+            # BB segments are globally visible: direct reads avoid the
+            # server forwarding hop entirely.
+            assert on >= off, f"location-aware must not hurt at {procs}"

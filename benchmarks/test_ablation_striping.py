@@ -1,0 +1,102 @@
+"""Ablation — adaptive striping internals (DESIGN.md §4).
+
+Separates the two mechanisms inside ADPT that Fig. 5c only shows
+combined:
+
+* **Eq. 2 vs default wide striping** (few servers): capping the
+  per-server stripe count at alpha removes the per-OST synchronisation
+  overhead of touching all 248 OSTs;
+* **Eq. 6 vs Eq. 5** (many servers): rounding the server count up to a
+  multiple of the OST count removes the §II-D straggler OSTs
+  (512 % 248 = 16 OSTs carrying an extra flusher).
+"""
+
+import pytest
+
+from repro.cluster.spec import LustreSpec
+from repro.core.striping import adaptive_plan, default_plan, eq5_plan
+from repro.sim import Engine
+from repro.storage.lustre import LustreFS
+from repro.units import GiB
+
+
+def flush_time(plan, lustre_spec):
+    """Simulated time for one flush with the given plan."""
+    engine = Engine()
+    fs = LustreFS(engine, lustre_spec)
+
+    def proc():
+        yield fs.write_with_layout(plan.bytes_per_server, plan.layout,
+                                   per_stream_cap=5e9)
+        return engine.now
+
+    return engine.run_process(proc())
+
+
+class TestStripingAblation:
+    lustre = LustreSpec()
+
+    def test_eq2_beats_wide_striping_few_servers(self, benchmark):
+        file_size = 256 * GiB
+
+        def run():
+            out = {}
+            for servers in (4, 16, 64):
+                adaptive = adaptive_plan(file_size, servers, self.lustre)
+                default = default_plan(file_size, servers, self.lustre)
+                out[servers] = (flush_time(adaptive, self.lustre),
+                                flush_time(default, self.lustre))
+            return out
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        print("\nservers  adaptive(s)  default(s)  speedup")
+        for servers, (t_a, t_d) in results.items():
+            print(f"{servers:7d}  {t_a:10.2f}  {t_d:9.2f}  {t_d/t_a:6.2f}x")
+            assert t_a < t_d, f"ADPT must beat wide striping at {servers}"
+            assert t_d / t_a > 1.2
+
+    def test_eq6_beats_eq5_many_servers(self, benchmark):
+        file_size = 256 * GiB
+
+        def run():
+            out = {}
+            for servers in (300, 512, 1000):
+                eq6 = adaptive_plan(file_size, servers, self.lustre)
+                eq5 = eq5_plan(file_size, servers, self.lustre)
+                out[servers] = (flush_time(eq6, self.lustre),
+                                flush_time(eq5, self.lustre),
+                                eq5.layout.imbalance())
+            return out
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        print("\nservers  eq6(s)   eq5(s)   eq5-imbalance  speedup")
+        for servers, (t_6, t_5, imb) in results.items():
+            print(f"{servers:7d}  {t_6:7.2f}  {t_5:7.2f}  {imb:13.2f}  "
+                  f"{t_5/t_6:5.2f}x")
+            assert t_6 <= t_5, f"Eq. 6 must not lose to Eq. 5 at {servers}"
+        # The paper's worked example: 512 % 248 = 16 straggler OSTs.
+        t_6, t_5, imb = results[512]
+        assert imb == pytest.approx(1.453, abs=0.01)
+        assert t_5 / t_6 > 1.2
+
+    def test_alpha_sweep_finds_knee(self, benchmark):
+        """Eq. 2's alpha: beyond the saturation point, more OSTs per
+        server only add synchronisation overhead."""
+        file_size = 64 * GiB
+        servers = 8
+
+        def run():
+            times = {}
+            for alpha in (1, 2, 4, 8, 16, 64, 248):
+                spec = LustreSpec(saturation_stripe_count=alpha)
+                plan = adaptive_plan(file_size, servers, spec)
+                times[alpha] = flush_time(plan, spec)
+            return times
+
+        times = benchmark.pedantic(run, rounds=1, iterations=1)
+        print("\nalpha -> flush time:",
+              {a: f"{t:.2f}s" for a, t in times.items()})
+        best = min(times, key=times.get)
+        assert 2 <= best <= 64, "the knee should sit at a moderate alpha"
+        assert times[248] > times[best], "touching every OST must hurt"
+        assert times[1] > times[best], "a single OST per server starves"

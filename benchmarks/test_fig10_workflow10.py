@@ -1,0 +1,29 @@
+"""Fig. 10 — the 10-step workflow across storage layers.
+
+Paper bands: UniviStor/(DRAM+BB) is 1.5-2x (avg 1.8x) faster than
+BB-only and 4-4.8x (avg 4.3x) faster than Lustre-only placement.
+"""
+
+from repro.analysis import fmt_markdown_table
+from repro.experiments import run_fig10
+from repro.experiments.common import sweep
+
+
+class TestFig10:
+    def test_fig10_workflow_10steps(self, once):
+        table = once(run_fig10, procs_list=sweep())
+        print("\n" + fmt_markdown_table(table, "{:.4g}"))
+        vs_bb = table.ratio("UniviStor/(BB)", "UniviStor/(DRAM+BB)")
+        vs_disk = table.ratio("UniviStor/(Disk)", "UniviStor/(DRAM+BB)")
+        mean_bb = sum(vs_bb.values()) / len(vs_bb)
+        mean_disk = sum(vs_disk.values()) / len(vs_disk)
+        print(f"BB / DRAM+BB time: mean {mean_bb:.2f}; paper 1.5..2 "
+              f"(avg 1.8)")
+        print(f"Disk / DRAM+BB time: mean {mean_disk:.2f}; paper 4..4.8 "
+              f"(avg 4.3)")
+        for x in table.xs():
+            row = table.rows[x]
+            assert (row["UniviStor/(DRAM+BB)"] < row["UniviStor/(BB)"]
+                    < row["UniviStor/(Disk)"]), f"ordering broken at {x}"
+        assert 1.2 <= mean_bb <= 2.5, "DRAM+BB vs BB off the paper band"
+        assert 2.0 <= mean_disk <= 7.0, "DRAM+BB vs Disk off the paper band"

@@ -1,0 +1,74 @@
+"""Fig. 5 — micro-benchmark ablations (IA / COC / ADPT).
+
+Regenerates the three panels of Fig. 5 and checks the paper's ratio
+bands:
+
+* 5a write: IA+COC over No-IA 1.45-2.5x (avg 1.9x), over No-COC
+  1.1-3.5x (avg 1.6x);
+* 5b read: 1.13-1.5x (avg 1.25x) and 1.15-1.8x (avg 1.3x);
+* 5c flush: IA+ADPT over both-disabled 1.9-2.7x (avg 2.3x).
+
+Assertions are qualitative-shape checks with tolerance around the paper's
+bands — the substrate is a simulator, not Cori.
+"""
+
+from repro.analysis import fmt_markdown_table
+from repro.experiments import run_fig5a, run_fig5b, run_fig5c
+from repro.experiments.common import sweep
+
+
+class TestFig5a:
+    def test_fig5a_write(self, once):
+        table = once(run_fig5a, procs_list=sweep())
+        print("\n" + fmt_markdown_table(table))
+        lo, mean, hi = table.ratio_band("IA+COC", "No-IA")
+        print(f"IA+COC / No-IA: {lo:.2f}..{hi:.2f} (mean {mean:.2f}); "
+              f"paper 1.45..2.5 (avg 1.9)")
+        assert lo >= 1.2, "IA must help writes at every scale"
+        assert 1.4 <= mean <= 2.6, "IA write benefit off the paper band"
+        lo, mean, hi = table.ratio_band("IA+COC", "No-COC")
+        print(f"IA+COC / No-COC: {lo:.2f}..{hi:.2f} (mean {mean:.2f}); "
+              f"paper 1.1..3.5 (avg 1.6)")
+        assert lo >= 1.0, "COC must never hurt"
+        assert hi >= 1.1, "COC must visibly help at scale"
+        # The COC benefit grows with process count (all-to-one serialises).
+        ratios = table.ratio("IA+COC", "No-COC")
+        xs = sorted(ratios)
+        assert ratios[xs[-1]] >= ratios[xs[0]], \
+            "COC benefit should grow with scale"
+
+
+class TestFig5b:
+    def test_fig5b_read(self, once):
+        table = once(run_fig5b, procs_list=sweep())
+        print("\n" + fmt_markdown_table(table))
+        lo, mean, hi = table.ratio_band("IA+COC", "No-IA")
+        print(f"IA+COC / No-IA: {lo:.2f}..{hi:.2f} (mean {mean:.2f}); "
+              f"paper 1.13..1.5 (avg 1.25)")
+        assert lo >= 1.02
+        assert 1.05 <= mean <= 1.7, "IA read benefit off the paper band"
+        # Reads are less scheduling-sensitive than writes (paper: 1.25x
+        # average vs 1.9x for writes).
+        write_table = run_fig5a(procs_list=sweep()[:1])
+        _, write_mean, _ = write_table.ratio_band("IA+COC", "No-IA")
+        assert mean <= write_mean + 0.1
+        lo, mean, hi = table.ratio_band("IA+COC", "No-COC")
+        print(f"IA+COC / No-COC: {lo:.2f}..{hi:.2f} (mean {mean:.2f}); "
+              f"paper 1.15..1.8 (avg 1.3)")
+        assert lo >= 1.0
+
+
+class TestFig5c:
+    def test_fig5c_flush(self, once):
+        table = once(run_fig5c, procs_list=sweep())
+        print("\n" + fmt_markdown_table(table))
+        lo, mean, hi = table.ratio_band("IA+ADPT", "Disabled")
+        print(f"IA+ADPT / Disabled: {lo:.2f}..{hi:.2f} (mean {mean:.2f}); "
+              f"paper 1.9..2.7 (avg 2.3)")
+        assert lo >= 1.3, "combined IA+ADPT must clearly beat disabled"
+        assert 1.6 <= mean <= 3.0, "flush ablation off the paper band"
+        # Each single optimisation alone helps but less than both.
+        for variant in ("No-IA", "No-ADPT"):
+            v_lo, v_mean, _ = table.ratio_band("IA+ADPT", variant)
+            assert v_lo >= 0.95, f"{variant} should not beat IA+ADPT"
+            assert v_mean <= mean + 0.1

@@ -1,0 +1,80 @@
+"""Fig. 6 — UniviStor vs Data Elevator vs Lustre (micro-benchmarks).
+
+Regenerates the three panels and checks the headline claims:
+
+* 6a write: UV/DRAM 3.7-5.6x DE (avg 4.3x), up to 46x Lustre; UV/BB
+  1.2-1.7x DE, up to 12x Lustre;
+* 6b read: UV/DRAM 2.7-4.5x DE (avg 3.6x), up to 16.8x Lustre; UV/BB
+  1.15-1.6x DE, up to 5.4x Lustre;
+* 6c flush: UV/DRAM 1.8-2.5x DE (avg 2x), UV/BB 1.6-2.5x DE (avg 1.8x).
+"""
+
+from repro.analysis import fmt_markdown_table
+from repro.experiments import run_fig6a, run_fig6b, run_fig6c
+from repro.experiments.common import sweep
+
+
+def _print(table, *ratio_pairs):
+    print("\n" + fmt_markdown_table(table))
+    for num, den, band in ratio_pairs:
+        lo, mean, hi = table.ratio_band(num, den)
+        print(f"{num} / {den}: {lo:.2f}..{hi:.2f} (mean {mean:.2f}); "
+              f"paper {band}")
+
+
+class TestFig6a:
+    def test_fig6a_write(self, once):
+        table = once(run_fig6a, procs_list=sweep())
+        _print(table,
+               ("UniviStor/DRAM", "DE", "3.7-5.6 (avg 4.3)"),
+               ("UniviStor/BB", "DE", "1.2-1.7 (avg 1.3)"),
+               ("UniviStor/DRAM", "Lustre", "up to 46"),
+               ("UniviStor/BB", "Lustre", "up to 12"))
+        # Ordering at every scale: DRAM > BB > DE > Lustre.
+        for x in table.xs():
+            row = table.rows[x]
+            assert (row["UniviStor/DRAM"] > row["UniviStor/BB"]
+                    > row["DE"] > row["Lustre"]), f"ordering broken at {x}"
+        lo, mean, hi = table.ratio_band("UniviStor/DRAM", "DE")
+        assert 2.5 <= mean <= 6.0
+        lo, mean, hi = table.ratio_band("UniviStor/BB", "DE")
+        assert 1.1 <= mean <= 2.0
+        # The Lustre gap widens with scale (contention).
+        ratios = table.ratio("UniviStor/DRAM", "Lustre")
+        xs = sorted(ratios)
+        assert ratios[xs[-1]] > ratios[xs[0]]
+
+
+class TestFig6b:
+    def test_fig6b_read(self, once):
+        table = once(run_fig6b, procs_list=sweep(), verify=True)
+        _print(table,
+               ("UniviStor/DRAM", "DE", "2.7-4.5 (avg 3.6)"),
+               ("UniviStor/BB", "DE", "1.15-1.6 (avg 1.2)"),
+               ("UniviStor/DRAM", "Lustre", "up to 16.8"),
+               ("UniviStor/BB", "Lustre", "up to 5.4"))
+        for x in table.xs():
+            row = table.rows[x]
+            assert row["UniviStor/DRAM"] > row["UniviStor/BB"] > row["DE"], \
+                f"ordering broken at {x}"
+        lo, mean, hi = table.ratio_band("UniviStor/DRAM", "DE")
+        assert 2.0 <= mean <= 5.0
+        lo, mean, hi = table.ratio_band("UniviStor/BB", "DE")
+        assert 1.05 <= mean <= 1.7
+
+
+class TestFig6c:
+    def test_fig6c_flush(self, once):
+        table = once(run_fig6c, procs_list=sweep())
+        _print(table,
+               ("UniviStor/DRAM", "DE", "1.8-2.5 (avg 2)"),
+               ("UniviStor/BB", "DE", "1.6-2.5 (avg 1.8)"))
+        for x in table.xs():
+            row = table.rows[x]
+            # DRAM flush >= BB flush (faster source tier), both beat DE.
+            assert row["UniviStor/DRAM"] >= row["UniviStor/BB"] * 0.99
+            assert row["UniviStor/BB"] > row["DE"]
+        lo, mean, hi = table.ratio_band("UniviStor/DRAM", "DE")
+        assert 1.5 <= mean <= 3.0
+        lo, mean, hi = table.ratio_band("UniviStor/BB", "DE")
+        assert 1.4 <= mean <= 2.8

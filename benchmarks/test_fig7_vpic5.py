@@ -1,0 +1,36 @@
+"""Fig. 7 — total I/O time of 5-time-step VPIC-IO on a single layer.
+
+Paper bands: UniviStor/DRAM is 1.9-3.1x (avg 2.5x) faster than Data
+Elevator and UniviStor/BB 1.1-1.6x (avg 1.3x); Lustre is slowest.
+"""
+
+from repro.analysis import fmt_markdown_table
+from repro.experiments import run_fig7
+from repro.experiments.common import sweep
+
+
+class TestFig7:
+    def test_fig7_vpic_5steps(self, once):
+        table = once(run_fig7, procs_list=sweep())
+        print("\n" + fmt_markdown_table(table, "{:.4g}"))
+        # Lower is better: invert ratios for the speedup bands.
+        de_over_dram = table.ratio("DE", "UniviStor/DRAM")
+        de_over_bb = table.ratio("DE", "UniviStor/BB")
+        lo = min(de_over_dram.values())
+        hi = max(de_over_dram.values())
+        mean = sum(de_over_dram.values()) / len(de_over_dram)
+        print(f"DE / UV-DRAM time: {lo:.2f}..{hi:.2f} (mean {mean:.2f}); "
+              f"paper 1.9..3.1 (avg 2.5)")
+        assert 1.5 <= mean <= 3.5, "UV/DRAM advantage off the paper band"
+        mean_bb = sum(de_over_bb.values()) / len(de_over_bb)
+        print(f"DE / UV-BB time: mean {mean_bb:.2f}; paper 1.1..1.6 "
+              f"(avg 1.3)")
+        assert 1.02 <= mean_bb <= 2.0, "UV/BB advantage off the paper band"
+        for x in table.xs():
+            row = table.rows[x]
+            # Ordering (smaller time wins): DRAM < BB < DE < Lustre.
+            assert (row["UniviStor/DRAM"] < row["UniviStor/BB"]
+                    < row["DE"] < row["Lustre"]), f"ordering broken at {x}"
+            # UniviStor/BB's exposed flush is no worse than DE's (ADPT).
+            assert (row["UniviStor/BB Flush"]
+                    <= row["DE Flush"] * 1.05), f"flush tail at {x}"

@@ -1,0 +1,35 @@
+"""Fig. 8 — 10-step VPIC-IO across multiple storage layers.
+
+Ten steps exceed the DRAM cache, so UniviStor/(DRAM+BB+Disk) spills part
+of the data to the burst buffer.  Paper bands: the hierarchy is 1.2-1.6x
+(avg 1.4x) faster than BB-only and 1.4-2x (avg 1.7x) faster than
+write-through-to-disk.
+"""
+
+from repro.analysis import fmt_markdown_table
+from repro.experiments import run_fig8
+from repro.experiments.common import sweep
+
+
+class TestFig8:
+    def test_fig8_vpic_10steps(self, once):
+        table = once(run_fig8, procs_list=sweep())
+        print("\n" + fmt_markdown_table(table, "{:.4g}"))
+        vs_bb = table.ratio("UniviStor/(BB+Disk)", "UniviStor/(DRAM+BB+Disk)")
+        vs_disk = table.ratio("UniviStor/(Disk)", "UniviStor/(DRAM+BB+Disk)")
+        mean_bb = sum(vs_bb.values()) / len(vs_bb)
+        mean_disk = sum(vs_disk.values()) / len(vs_disk)
+        print(f"BB+Disk / DRAM+BB+Disk time: mean {mean_bb:.2f}; "
+              f"paper 1.2..1.6 (avg 1.4)")
+        print(f"Disk / DRAM+BB+Disk time: mean {mean_disk:.2f}; "
+              f"paper 1.4..2 (avg 1.7)")
+        for x in table.xs():
+            row = table.rows[x]
+            assert (row["UniviStor/(DRAM+BB+Disk)"]
+                    < row["UniviStor/(BB+Disk)"]), \
+                f"hierarchy must beat BB-only at {x}"
+            assert (row["UniviStor/(DRAM+BB+Disk)"]
+                    < row["UniviStor/(Disk)"]), \
+                f"hierarchy must beat disk-only at {x}"
+        assert 1.1 <= mean_bb <= 2.2, "DRAM+BB advantage off the paper band"
+        assert 1.2 <= mean_disk <= 2.6, "vs-disk advantage off the paper band"

@@ -1,0 +1,50 @@
+"""Fig. 9 — the 5-step VPIC-IO + BD-CATS-IO workflow.
+
+Paper bands: Overlap mode (workflow locks, concurrent producer/consumer)
+beats Nonoverlap by 1.2-1.7x (DRAM) and 1.5-2x (BB); UniviStor Nonoverlap
+beats Data Elevator by 3.5-17x (DRAM, avg 9x) and 1.3-7.2x (BB, avg
+3.4x); Lustre is slowest.
+"""
+
+from repro.analysis import fmt_markdown_table
+from repro.experiments import run_fig9
+from repro.experiments.common import sweep
+
+
+def band(table, slow, fast):
+    inv = table.ratio(slow, fast)
+    vals = list(inv.values())
+    return min(vals), sum(vals) / len(vals), max(vals)
+
+
+class TestFig9:
+    def test_fig9_workflow_5steps(self, once):
+        table = once(run_fig9, procs_list=sweep(), verify=True)
+        print("\n" + fmt_markdown_table(table, "{:.4g}"))
+        lo, mean, hi = band(table, "UniviStor/DRAM Nonoverlap",
+                            "UniviStor/DRAM Overlap")
+        print(f"DRAM overlap speedup: {lo:.2f}..{hi:.2f} (mean {mean:.2f});"
+              f" paper 1.2..1.7 (avg 1.3)")
+        assert lo >= 1.05, "overlap must help on DRAM"
+        assert mean <= 2.0
+        lo, mean, hi = band(table, "UniviStor/BB Nonoverlap",
+                            "UniviStor/BB Overlap")
+        print(f"BB overlap speedup: {lo:.2f}..{hi:.2f} (mean {mean:.2f}); "
+              f"paper 1.5..2 (avg 1.7)")
+        assert lo >= 1.05, "overlap must help on BB"
+        assert mean <= 2.2
+        lo, mean, hi = band(table, "DE", "UniviStor/DRAM Nonoverlap")
+        print(f"UV-DRAM nonoverlap over DE: {lo:.2f}..{hi:.2f} "
+              f"(mean {mean:.2f}); paper 3.5..17 (avg 9)")
+        assert lo >= 1.7, "UV/DRAM must clearly beat DE"
+        lo, mean, hi = band(table, "DE", "UniviStor/BB Nonoverlap")
+        print(f"UV-BB nonoverlap over DE: {lo:.2f}..{hi:.2f} "
+              f"(mean {mean:.2f}); paper 1.3..7.2 (avg 3.4)")
+        assert lo >= 1.1, "UV/BB must beat DE"
+        for x in table.xs():
+            row = table.rows[x]
+            assert row["Lustre"] >= row["DE"] * 0.95, \
+                f"Lustre must not beat DE at {x}"
+            assert (row["UniviStor/DRAM Overlap"]
+                    <= row["UniviStor/BB Overlap"] * 1.05), \
+                f"DRAM overlap should lead at {x}"

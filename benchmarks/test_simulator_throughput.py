@@ -1,0 +1,92 @@
+"""Simulator self-benchmarks: wall-clock cost of the reproduction itself.
+
+Unlike the figure benches (which report *simulated* I/O rates), these
+measure how fast the simulator runs on the host — the numbers that decide
+whether the full paper sweep is practical.  They exercise the hot paths:
+the event kernel, fair-share rescheduling, extent-map writes and the
+full-stack micro-benchmark at two scales.
+"""
+
+import numpy as np
+
+from repro.experiments.common import build_simulation
+from repro.sim import BandwidthResource, Engine
+from repro.storage.datamodel import ExtentMap, PatternPayload
+from repro.units import MiB
+from repro.workloads import MicroBench
+
+
+class TestKernelThroughput:
+    def test_event_loop_throughput(self, benchmark):
+        """Chained timeouts: pure scheduler overhead per event."""
+        def run():
+            engine = Engine()
+
+            def ticker():
+                for _ in range(20_000):
+                    yield engine.timeout(1.0)
+
+            engine.run_process(ticker())
+            return engine.now
+
+        assert benchmark(run) == 20_000.0
+
+    def test_fair_share_rescheduling(self, benchmark):
+        """Staggered flows force O(flows) rescheduling churn."""
+        def run():
+            engine = Engine()
+            pipe = BandwidthResource(engine, 1000.0)
+
+            def submit(i):
+                yield engine.timeout(i * 0.1)
+                yield pipe.transfer(100.0 + i, streams=1 + i % 7)
+
+            for i in range(300):
+                engine.process(submit(i))
+            engine.run()
+            return pipe.bytes_moved
+
+        assert benchmark(run) > 0
+
+    def test_extent_map_random_writes(self, benchmark):
+        """Interval-map maintenance under overwrite churn."""
+        rng = np.random.default_rng(7)
+        ops = [(int(o), int(l), int(s)) for o, l, s in
+               zip(rng.integers(0, 1 << 20, 3000),
+                   rng.integers(1, 1 << 12, 3000),
+                   rng.integers(0, 50, 3000))]
+
+        def run():
+            m = ExtentMap()
+            for offset, length, seed in ops:
+                m.write(offset, length, PatternPayload(seed))
+            return len(m)
+
+        assert benchmark(run) > 0
+
+
+class TestFullStackThroughput:
+    def _run_micro(self, procs):
+        sim, fstype = build_simulation(procs, "UniviStor/DRAM")
+        comm = sim.comm("iobench", size=procs)
+        bench = MicroBench(sim, comm, "/pfs/m.h5", fstype,
+                           bytes_per_proc=256 * MiB)
+
+        def app():
+            yield from bench.write_phase()
+            yield from bench.read_phase()
+
+        sim.run_to_completion(app())
+        return sim.telemetry.total_bytes(op="write")
+
+    def test_micro_1024_procs_wall_time(self, benchmark):
+        """Full write+read at 1024 ranks (32 nodes)."""
+        total = benchmark.pedantic(self._run_micro, args=(1024,),
+                                   rounds=3, iterations=1)
+        assert total == 1024 * 256 * MiB
+
+    def test_micro_8192_procs_wall_time(self, benchmark):
+        """Full write+read at the paper's largest scale (256 nodes)."""
+        total = benchmark.pedantic(self._run_micro, args=(8192,),
+                                   rounds=1, iterations=1)
+        assert total == 8192 * 256 * MiB

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""In-situ analysis workflow: VPIC-IO producing, BD-CATS-IO consuming.
+
+The motivating scenario of §II-E/§III-D: a plasma simulation checkpoints
+particle data every time step while a clustering analysis wants to read
+each step as soon as it is complete — without ever touching the disk
+file system, and without reading half-written (stale) data.
+
+This example runs the same 5-step workflow twice:
+
+* **overlap** — both applications run concurrently; UniviStor's workflow
+  manager (state-file locks piggybacked on MPI_File_open/close) makes the
+  reader's open block until the writer's close releases each step file;
+* **nonoverlap** — the analysis only starts after the simulation ends
+  (what you are forced to do without workflow management).
+
+Run:  python examples/insitu_workflow.py
+"""
+
+from repro import MachineSpec, Simulation, UniviStorConfig
+from repro.core.workflow import FileState
+from repro.units import fmt_time
+from repro.workloads import BdCatsIO, VpicIO
+
+NODES = 4
+STEPS = 5
+# Scaled-down particle counts keep the example snappy; the benchmark
+# suite runs the full 8 Mi-particles-per-rank configuration.
+PARTICLES_PER_PROC = 2 * 2 ** 20
+
+
+def run_workflow(overlap: bool) -> float:
+    sim = Simulation(MachineSpec.cori_haswell(nodes=NODES))
+    sim.install_univistor(
+        UniviStorConfig.dram_only(workflow_enabled=overlap))
+    # Producer and consumer each get half the processes (§III-D).
+    vpic_comm = sim.comm("vpic", size=NODES * 16, procs_per_node=16)
+    bdcats_comm = sim.comm("bdcats", size=NODES * 16, procs_per_node=16)
+    vpic = VpicIO(sim, vpic_comm, "univistor", steps=STEPS,
+                  compute_seconds=0.0,
+                  particles_per_proc=PARTICLES_PER_PROC)
+    bdcats = BdCatsIO(sim, bdcats_comm, vpic, "univistor")
+
+    if overlap:
+        writer = sim.spawn(vpic.run(sync_last=False), name="vpic")
+        # verify_sample asserts the reader never sees stale bytes — the
+        # workflow locks are what make this safe.
+        reader = sim.spawn(bdcats.run(verify_sample=True), name="bdcats")
+        sim.run()
+        assert writer.ok and reader.ok
+        # Show the lock history of the first step file.
+        wf = sim.univistor.workflow
+        history = [(state.value, f"{t:.2f}s")
+                   for state, t in wf.history_of(vpic.step_path(0))]
+        print(f"  step-0 lock history: {history}")
+    else:
+        def sequence():
+            yield from vpic.run(sync_last=False)
+            yield from bdcats.run(verify_sample=True)
+
+        sim.run_to_completion(sequence(), name="workflow")
+    return sim.now
+
+
+def main() -> None:
+    print(f"{STEPS}-step VPIC-IO + BD-CATS-IO on {NODES} nodes "
+          f"({NODES * 16}+{NODES * 16} ranks)\n")
+    t_overlap = run_workflow(overlap=True)
+    t_sequential = run_workflow(overlap=False)
+    print(f"\noverlap (workflow-managed) elapsed:  {fmt_time(t_overlap)}")
+    print(f"nonoverlap (sequential) elapsed:     {fmt_time(t_sequential)}")
+    print(f"overlap speedup: {t_sequential / t_overlap:.2f}x "
+          "(paper: 1.2-1.7x on DRAM)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""UniviStor reproduction: integrated hierarchical and distributed storage.
+
+A full, simulation-backed reproduction of *"UniviStor: Integrated
+Hierarchical and Distributed Storage for HPC"* (Wang, Byna, Dong, Tang —
+IEEE CLUSTER 2018).  The library implements the paper's data-management
+middleware — DHP log placement, virtual addressing, the distributed
+metadata service, location-aware reads, interference-aware scheduling,
+adaptive striping and lightweight workflow management — on top of a
+discrete-event model of a Cori-class machine (compute nodes with NUMA
+sockets, a DataWarp-like shared burst buffer, and a 248-OST Lustre file
+system), plus the two comparison systems (Data Elevator and plain Lustre).
+
+Quick start::
+
+    from repro import MachineSpec, Simulation, UniviStorConfig
+
+    sim = Simulation(MachineSpec.cori_haswell(nodes=2))
+    sim.install_univistor(UniviStorConfig.dram_only())
+    ...
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+regeneration of every figure in the paper's evaluation.
+"""
+
+from repro.analysis import OpRecord, Table, Telemetry, fmt_markdown_table
+from repro.baselines import (
+    DataElevatorDriver,
+    DataElevatorServers,
+    LustreDirectDriver,
+)
+from repro.cluster import (
+    BurstBufferSpec,
+    LustreSpec,
+    Machine,
+    MachineSpec,
+    NetworkSpec,
+    NodeSpec,
+    SchedulingSpec,
+)
+from repro.core import (
+    StorageTier,
+    UniviStorConfig,
+    UniviStorDriver,
+    UniviStorServers,
+)
+from repro.sim import Engine
+from repro.simmpi import Communicator, File, IORequest
+from repro.simulation import Simulation
+from repro.storage import BytesPayload, PatternPayload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BurstBufferSpec",
+    "BytesPayload",
+    "Communicator",
+    "DataElevatorDriver",
+    "DataElevatorServers",
+    "Engine",
+    "File",
+    "IORequest",
+    "LustreDirectDriver",
+    "LustreSpec",
+    "Machine",
+    "MachineSpec",
+    "NetworkSpec",
+    "NodeSpec",
+    "OpRecord",
+    "PatternPayload",
+    "SchedulingSpec",
+    "Simulation",
+    "StorageTier",
+    "Table",
+    "Telemetry",
+    "UniviStorConfig",
+    "UniviStorDriver",
+    "UniviStorServers",
+    "fmt_markdown_table",
+    "__version__",
+]

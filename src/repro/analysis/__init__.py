@@ -1,0 +1,23 @@
+"""Measurement and reporting utilities."""
+
+from repro.analysis.metrics import OpRecord, Telemetry
+from repro.analysis.report import Table, fmt_markdown_table
+from repro.analysis.timeline import Lane, Timeline, build_timeline
+from repro.analysis.utilisation import (
+    ResourceUsage,
+    UtilisationReport,
+    machine_utilisation,
+)
+
+__all__ = [
+    "Lane",
+    "OpRecord",
+    "ResourceUsage",
+    "Table",
+    "Telemetry",
+    "Timeline",
+    "UtilisationReport",
+    "build_timeline",
+    "fmt_markdown_table",
+    "machine_utilisation",
+]

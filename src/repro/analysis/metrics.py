@@ -1,0 +1,89 @@
+"""Operation timing records and I/O-rate accounting.
+
+The paper's metric (§III-A): *"We measured the time required to open,
+write, read, and close a file.  We define I/O rate as the ratio of the
+size of data read/written to the I/O time."*  :class:`Telemetry` collects
+exactly those per-operation records from the drivers and computes the
+aggregate rates the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Engine
+
+__all__ = ["OpRecord", "Telemetry"]
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One timed file operation."""
+
+    app: str
+    op: str        # "open" | "write" | "read" | "close" | "flush"
+    path: str
+    t_start: float
+    t_end: float
+    nbytes: float = 0.0
+    driver: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Telemetry:
+    """Collects :class:`OpRecord` entries during a simulation run."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.records: List[OpRecord] = []
+
+    def record(self, app: str, op: str, path: str, t_start: float,
+               nbytes: float = 0.0, driver: str = "") -> OpRecord:
+        """Close out an operation that started at ``t_start`` (ends now)."""
+        rec = OpRecord(app=app, op=op, path=path, t_start=t_start,
+                       t_end=self.engine.now, nbytes=nbytes, driver=driver)
+        self.records.append(rec)
+        return rec
+
+    # -- selection ---------------------------------------------------------
+    def select(self, app: Optional[str] = None, op: Optional[str] = None,
+               path: Optional[str] = None,
+               predicate: Optional[Callable[[OpRecord], bool]] = None
+               ) -> List[OpRecord]:
+        out = self.records
+        if app is not None:
+            out = [r for r in out if r.app == app]
+        if op is not None:
+            out = [r for r in out if r.op == op]
+        if path is not None:
+            out = [r for r in out if r.path == path]
+        if predicate is not None:
+            out = [r for r in out if predicate(r)]
+        return list(out)
+
+    # -- aggregates -----------------------------------------------------------
+    def total_time(self, **kw) -> float:
+        return sum(r.duration for r in self.select(**kw))
+
+    def total_bytes(self, **kw) -> float:
+        return sum(r.nbytes for r in self.select(**kw))
+
+    def io_rate(self, **kw) -> float:
+        """Bytes moved / time spent, over the selected records (§III-A)."""
+        time = self.total_time(**kw)
+        if time <= 0:
+            return 0.0
+        return self.total_bytes(**kw) / time
+
+    def op_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for r in self.records:
+            counts[r.op] = counts.get(r.op, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self.records.clear()

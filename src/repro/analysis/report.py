@@ -1,0 +1,71 @@
+"""Paper-style result tables.
+
+Each experiment runner produces a :class:`Table` whose rows are process
+counts and whose columns are systems/variants — the exact series the
+paper's figures plot.  The benchmark harness prints these with
+:func:`fmt_markdown_table` so a run's output is directly comparable to the
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Table", "fmt_markdown_table"]
+
+
+@dataclass
+class Table:
+    """A figure/table: row label (x-axis) -> {series -> value}."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: List[str] = field(default_factory=list)
+    rows: Dict[object, Dict[str, float]] = field(default_factory=dict)
+
+    def add(self, x: object, series: str, value: float) -> None:
+        if series not in self.series:
+            self.series.append(series)
+        self.rows.setdefault(x, {})[series] = value
+
+    def column(self, series: str) -> List[float]:
+        return [self.rows[x].get(series, float("nan"))
+                for x in sorted(self.rows)]
+
+    def xs(self) -> List[object]:
+        return sorted(self.rows)
+
+    def ratio(self, numerator: str, denominator: str) -> Dict[object, float]:
+        """Per-row speedup of one series over another (the paper's 'x')."""
+        out = {}
+        for x in self.xs():
+            num = self.rows[x].get(numerator)
+            den = self.rows[x].get(denominator)
+            if num is not None and den not in (None, 0.0):
+                out[x] = num / den
+        return out
+
+    def ratio_band(self, numerator: str, denominator: str):
+        """(min, mean, max) speedup across rows — the paper's bands."""
+        ratios = list(self.ratio(numerator, denominator).values())
+        if not ratios:
+            return (float("nan"),) * 3
+        return (min(ratios), sum(ratios) / len(ratios), max(ratios))
+
+
+def fmt_markdown_table(table: Table, value_fmt: str = "{:.3g}") -> str:
+    """Render a :class:`Table` as GitHub-flavoured markdown."""
+    header = [table.xlabel] + table.series
+    lines = ["### " + table.title,
+             f"(values: {table.ylabel})",
+             "| " + " | ".join(header) + " |",
+             "|" + "|".join(["---"] * len(header)) + "|"]
+    for x in table.xs():
+        cells = [str(x)]
+        for s in table.series:
+            v = table.rows[x].get(s)
+            cells.append("" if v is None else value_fmt.format(v))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""ASCII timeline (Gantt) rendering of telemetry records.
+
+Turns a run's :class:`~repro.analysis.metrics.Telemetry` into a
+per-lane text chart — one lane per (app, op) pair — so the overlap
+behaviour the workflow experiments rely on (reads riding behind writes,
+flushes hiding inside compute phases) is visible at a glance::
+
+    vpic/write    |##  ##  ##  ##  ##                    |
+    vpic/flush    |  ====  ====  ====                    |
+    bdcats/read   |   ++   ++   ++   ++                  |
+
+Used by the CLI (``repro vpic --timeline``-style flows) and by tests that
+assert overlap structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import OpRecord, Telemetry
+
+__all__ = ["Lane", "Timeline", "build_timeline"]
+
+_GLYPHS = {
+    "write": "#",
+    "read": "+",
+    "flush": "=",
+    "flush-wait": "=",
+    "replicate": "~",
+    "open": "o",
+    "close": "c",
+}
+
+
+@dataclass
+class Lane:
+    """One (app, op) stream of intervals."""
+
+    app: str
+    op: str
+    intervals: List[Tuple[float, float]]
+
+    @property
+    def label(self) -> str:
+        return f"{self.app}/{self.op}"
+
+    @property
+    def busy_time(self) -> float:
+        return sum(t1 - t0 for t0, t1 in self.intervals)
+
+    def overlaps(self, other: "Lane") -> float:
+        """Total time this lane runs concurrently with ``other``."""
+        total = 0.0
+        for a0, a1 in self.intervals:
+            for b0, b1 in other.intervals:
+                total += max(0.0, min(a1, b1) - max(a0, b0))
+        return total
+
+
+@dataclass
+class Timeline:
+    """All lanes plus the run's horizon."""
+
+    t_end: float
+    lanes: List[Lane]
+
+    def lane(self, app: str, op: str) -> Lane:
+        for lane in self.lanes:
+            if lane.app == app and lane.op == op:
+                return lane
+        raise KeyError(f"{app}/{op}")
+
+    def render(self, width: int = 72) -> str:
+        """The ASCII chart; one row per lane."""
+        if self.t_end <= 0 or not self.lanes:
+            return "(empty timeline)"
+        label_width = max(len(lane.label) for lane in self.lanes) + 2
+        scale = width / self.t_end
+        rows = []
+        for lane in self.lanes:
+            cells = [" "] * width
+            glyph = _GLYPHS.get(lane.op, "*")
+            for t0, t1 in lane.intervals:
+                lo = min(width - 1, int(t0 * scale))
+                hi = min(width, max(lo + 1, int(t1 * scale + 0.5)))
+                for i in range(lo, hi):
+                    cells[i] = glyph
+            rows.append(f"{lane.label:<{label_width}}|{''.join(cells)}|")
+        axis = (f"{'':<{label_width}}0{'':{width - 10}}"
+                f"{self.t_end:9.2f}s")
+        rows.append(axis)
+        return "\n".join(rows)
+
+
+def build_timeline(telemetry: Telemetry,
+                   ops: Optional[List[str]] = None,
+                   apps: Optional[List[str]] = None,
+                   min_duration: float = 0.0) -> Timeline:
+    """Group records into per-(app, op) lanes in first-seen order."""
+    lanes: Dict[Tuple[str, str], Lane] = {}
+    t_end = 0.0
+    for rec in telemetry.records:
+        if ops is not None and rec.op not in ops:
+            continue
+        if apps is not None and rec.app not in apps:
+            continue
+        if rec.duration < min_duration:
+            continue
+        key = (rec.app, rec.op)
+        lane = lanes.get(key)
+        if lane is None:
+            lane = Lane(rec.app, rec.op, [])
+            lanes[key] = lane
+        lane.intervals.append((rec.t_start, rec.t_end))
+        t_end = max(t_end, rec.t_end)
+    return Timeline(t_end=t_end, lanes=list(lanes.values()))

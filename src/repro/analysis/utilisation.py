@@ -1,0 +1,120 @@
+"""Machine utilisation reports.
+
+Every storage device and network pipe in the model keeps cumulative
+``busy_time`` and ``bytes_moved`` counters; this module rolls them up into
+a per-resource report — which tier actually carried the bytes, and how
+busy each pipe was over the run.  Useful for sanity-checking experiments
+("was Lustre really the bottleneck?") and exposed through the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.topology import Machine
+from repro.units import fmt_bytes, fmt_rate
+
+__all__ = ["ResourceUsage", "UtilisationReport", "machine_utilisation"]
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """One pipe's cumulative activity."""
+
+    name: str
+    busy_time: float
+    bytes_moved: float
+    utilisation: float  # busy fraction of elapsed simulated time
+    bandwidth: float
+
+    @property
+    def mean_rate(self) -> float:
+        return self.bytes_moved / self.busy_time if self.busy_time else 0.0
+
+
+@dataclass
+class UtilisationReport:
+    """All resources, busiest first."""
+
+    elapsed: float
+    resources: List[ResourceUsage]
+
+    def by_name(self, name: str) -> ResourceUsage:
+        for r in self.resources:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def busiest(self) -> Optional[ResourceUsage]:
+        return self.resources[0] if self.resources else None
+
+    def total_bytes(self) -> float:
+        return sum(r.bytes_moved for r in self.resources)
+
+    def to_markdown(self, top: Optional[int] = None) -> str:
+        lines = ["| resource | moved | busy | util | mean rate |",
+                 "|---|---|---|---|---|"]
+        for r in self.resources[:top]:
+            lines.append(
+                f"| {r.name} | {fmt_bytes(r.bytes_moved)} | "
+                f"{r.busy_time:.2f} s | {r.utilisation * 100:.0f}% | "
+                f"{fmt_rate(r.mean_rate)} |")
+        return "\n".join(lines)
+
+
+def _usage(pipe, elapsed: float) -> ResourceUsage:
+    return ResourceUsage(
+        name=pipe.name,
+        busy_time=pipe.busy_time,
+        bytes_moved=pipe.bytes_moved,
+        utilisation=(pipe.busy_time / elapsed) if elapsed > 0 else 0.0,
+        bandwidth=pipe.bandwidth)
+
+
+def machine_utilisation(machine: Machine, since: float = 0.0,
+                        aggregate_nodes: bool = True) -> UtilisationReport:
+    """Roll up every pipe's counters, busiest first.
+
+    ``aggregate_nodes`` folds the per-node DRAM/SSD pipes into single
+    "node-dram"/"node-ssd" rows (256 rows of per-node detail is rarely
+    what you want).
+    """
+    elapsed = machine.engine.now - since
+    resources: List[ResourceUsage] = []
+
+    node_groups = {}
+    for node in machine.nodes:
+        pipes = [("node-dram", node.dram.pipe),
+                 ("node-dram-read", node.dram.read_pipe)]
+        if node.local_ssd is not None:
+            pipes.append(("node-ssd", node.local_ssd.pipe))
+        for label, pipe in pipes:
+            if pipe.bytes_moved == 0 and pipe.busy_time == 0:
+                continue
+            if aggregate_nodes:
+                busy, moved, bw = node_groups.get(label, (0.0, 0.0, 0.0))
+                node_groups[label] = (busy + pipe.busy_time,
+                                      moved + pipe.bytes_moved,
+                                      bw + pipe.bandwidth)
+            else:
+                resources.append(_usage(pipe, elapsed))
+    for label, (busy, moved, bw) in node_groups.items():
+        # Node-aggregated utilisation: mean busy fraction across nodes.
+        n = len(machine.nodes)
+        resources.append(ResourceUsage(
+            name=label, busy_time=busy / n, bytes_moved=moved,
+            utilisation=(busy / n / elapsed) if elapsed > 0 else 0.0,
+            bandwidth=bw))
+
+    if machine.burst_buffer is not None:
+        bb = machine.burst_buffer.device
+        resources.append(_usage(bb.pipe, elapsed))
+        if bb.read_pipe is not bb.pipe:
+            resources.append(_usage(bb.read_pipe, elapsed))
+    resources.append(_usage(machine.lustre.device.pipe, elapsed))
+    resources.append(_usage(machine.network.backbone, elapsed))
+
+    resources = [r for r in resources if r.bytes_moved > 0 or r.busy_time > 0]
+    resources.sort(key=lambda r: r.bytes_moved, reverse=True)
+    return UtilisationReport(elapsed=elapsed, resources=resources)

@@ -1,0 +1,19 @@
+"""The paper's comparison systems (§III-A).
+
+* :class:`~repro.baselines.lustre_direct.LustreDirectDriver` — plain
+  MPI-IO onto the disk-based Lustre PFS: one shared file, N-to-1 writes,
+  no caching tier.
+* :class:`~repro.baselines.data_elevator.DataElevatorDriver` — a
+  reimplementation of Data Elevator (Dong et al., HiPC'16): transparent
+  caching of the shared HDF5 file on the *shared burst buffer* and an
+  asynchronous server-side flush to Lustre.  Unlike UniviStor it keeps
+  the shared-file layout on the BB (no file-per-process transformation),
+  cannot use node-local DRAM, and flushes with default striping and no
+  interference-aware scheduling — exactly the differences the evaluation
+  attributes UniviStor's wins to.
+"""
+
+from repro.baselines.data_elevator import DataElevatorDriver, DataElevatorServers
+from repro.baselines.lustre_direct import LustreDirectDriver
+
+__all__ = ["DataElevatorDriver", "DataElevatorServers", "LustreDirectDriver"]

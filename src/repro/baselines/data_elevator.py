@@ -1,0 +1,252 @@
+"""Data Elevator reimplementation (Dong et al., HiPC'16; §III-A here).
+
+Data Elevator transparently redirects writes aimed at the PFS into the
+shared burst buffer and asynchronously flushes them to Lustre.  The three
+design differences from UniviStor that the evaluation leans on:
+
+1. the cache keeps the application's **one shared HDF5 file** layout
+   (DataWarp stripes it across BB nodes; N-to-1 contention follows),
+   where UniviStor's DHP re-formats into file-per-process logs;
+2. it can only cache on the **shared burst buffer** — node-local DRAM is
+   out of reach;
+3. its flush uses the system-**default striping** and has no
+   interference-aware scheduling of the flushing servers.
+
+Like UniviStor in the evaluation, Data Elevator runs 2 server processes
+per compute node (§III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.analysis.metrics import Telemetry
+from repro.cluster.cpu import PlacementPolicy, cpu_availability
+from repro.cluster.topology import Machine
+from repro.core.striping import default_plan
+from repro.sim.engine import Event
+from repro.simmpi.adio import ADIODriver, OpenContext
+from repro.simmpi.mpiio import IORequest
+from repro.storage.posix import SimFile
+
+__all__ = ["DataElevatorServers", "DataElevatorDriver"]
+
+DE_PROGRAM = "data-elevator-server"
+
+
+class DataElevatorServers:
+    """The Data Elevator server program (2 per node, like the evaluation)."""
+
+    def __init__(self, machine: Machine, servers_per_node: int = 2):
+        self.machine = machine
+        self.engine = machine.engine
+        self.servers_per_node = servers_per_node
+        if machine.burst_buffer is None:
+            raise ValueError("Data Elevator requires a shared burst buffer")
+        machine.register_program(DE_PROGRAM,
+                                 len(machine.nodes) * servers_per_node,
+                                 kind="server",
+                                 procs_per_node=servers_per_node)
+        self.total_servers = len(machine.nodes) * servers_per_node
+
+    def flush_cpu_efficiency(self) -> float:
+        """DE has no interference-aware migration: its flushing servers
+        time-share with whatever the OS scheduler stacked them with."""
+        vals = []
+        for node in self.machine.nodes:
+            if node.procs_of(DE_PROGRAM) == 0:
+                continue
+            vals.append(cpu_availability(
+                node.placement(PlacementPolicy.CFS), DE_PROGRAM,
+                self.machine.spec.scheduling))
+        return sum(vals) / len(vals) if vals else 1.0
+
+
+@dataclass
+class _Session:
+    """Server-side state for one cached shared file."""
+
+    path: str
+    bb_file: SimFile
+    bytes_cached: float = 0.0
+    flushed_bytes: float = 0.0
+    flush_event: Optional[Event] = None
+    #: Application that produced the cached data.  Data Elevator is a
+    #: *write* cache: the producing application's own reads are redirected
+    #: to the BB copy, but a different application opening the file gets
+    #: the PFS copy — it must wait for the flush and read from Lustre.
+    #: (This is the §III-D behaviour that costs DE so dearly in the
+    #: workflow experiments while its §III-B micro-benchmark reads, issued
+    #: by the writing job itself, stay burst-buffer fast.)
+    writer_app: Optional[str] = None
+
+
+@dataclass
+class _OpenFile:
+    ctx: OpenContext
+    session: _Session
+    wrote: bool = False
+
+
+class DataElevatorDriver(ADIODriver):
+    """Data Elevator's transparent-caching driver."""
+
+    name = "data_elevator"
+
+    def __init__(self, servers: DataElevatorServers, telemetry: Telemetry):
+        self.servers = servers
+        self.machine = servers.machine
+        self.engine = servers.engine
+        self.telemetry = telemetry
+        self._sessions: Dict[str, _Session] = {}
+
+    def _session(self, path: str) -> _Session:
+        sess = self._sessions.get(path)
+        if sess is None:
+            sess = _Session(path=path,
+                            bb_file=self.machine.bb_files.create(path))
+            self._sessions[path] = sess
+        return sess
+
+    # -- ADIO surface ------------------------------------------------------------
+    def open(self, ctx: OpenContext) -> Generator:
+        t0 = self.engine.now
+        yield self.machine.network.rpc(1, serialized=False)
+        yield ctx.comm.bcast_small()
+        state = _OpenFile(ctx=ctx, session=self._session(ctx.path))
+        self.telemetry.record(app=ctx.comm.name, op="open", path=ctx.path,
+                              t_start=t0, driver=self.name)
+        return state
+
+    def write_at_all(self, state: _OpenFile, requests: List[IORequest]
+                     ) -> Generator:
+        t0 = self.engine.now
+        ctx = state.ctx
+        sess = state.session
+        total = 0.0
+        writers = 0
+        for req in requests:
+            if req.length == 0:
+                continue
+            sess.bb_file.write_at(req.offset, req.length, req.payload,
+                                  req.payload_offset)
+            total += req.length
+            writers += 1
+        if writers:
+            bb = self.machine.burst_buffer
+            net = self.machine.network
+            cap = min(bb.client_write_cap(ctx.comm.procs_per_node),
+                      net.injection_cap(ctx.comm.procs_per_node))
+            # The cache keeps the shared-file layout: N-to-1 penalty.
+            yield bb.write(total / writers, streams=writers,
+                           shared_file=True, per_stream_cap=cap,
+                           tag=f"de-write:{ctx.path}")
+        sess.bytes_cached += total
+        state.wrote = state.wrote or total > 0
+        if total > 0 and sess.writer_app is None:
+            sess.writer_app = ctx.comm.name
+        self.telemetry.record(app=ctx.comm.name, op="write", path=ctx.path,
+                              t_start=t0, nbytes=total, driver=self.name)
+
+    def read_at_all(self, state: _OpenFile, requests: List[IORequest]
+                    ) -> Generator:
+        t0 = self.engine.now
+        ctx = state.ctx
+        sess = state.session
+        cross_app = (sess.writer_app is not None
+                     and sess.writer_app != ctx.comm.name)
+        if cross_app:
+            # Another application's data: DE only guarantees the PFS
+            # copy — wait for the flush, then read from Lustre.
+            if sess.flush_event is not None and not sess.flush_event.processed:
+                yield sess.flush_event
+            source = self.machine.pfs_files.open(sess.path)
+        else:
+            source = sess.bb_file
+        results: Dict[int, list] = {}
+        total = 0.0
+        readers = 0
+        for req in requests:
+            results[req.rank] = source.read_at(req.offset, req.length)
+            if req.length > 0:
+                total += req.length
+                readers += 1
+        if readers:
+            net = self.machine.network
+            if cross_app:
+                lustre = self.machine.lustre
+                cap = min(net.injection_cap(ctx.comm.procs_per_node),
+                          lustre.spec.client_node_bandwidth
+                          / ctx.comm.procs_per_node)
+                yield lustre.read_shared_file(
+                    total / readers, readers=readers, per_stream_cap=cap,
+                    tag=f"de-read-pfs:{ctx.path}")
+            else:
+                bb = self.machine.burst_buffer
+                cap = min(bb.client_read_cap(ctx.comm.procs_per_node),
+                          net.injection_cap(ctx.comm.procs_per_node))
+                yield bb.read(total / readers, streams=readers,
+                              shared_file=True, per_stream_cap=cap,
+                              tag=f"de-read:{ctx.path}")
+        self.telemetry.record(app=ctx.comm.name, op="read", path=ctx.path,
+                              t_start=t0, nbytes=total, driver=self.name)
+        return results
+
+    def close(self, state: _OpenFile) -> Generator:
+        t0 = self.engine.now
+        ctx = state.ctx
+        yield self.machine.network.rpc(1, serialized=False)
+        if state.wrote:
+            self._start_flush(state.session, ctx.comm.name)
+        self.telemetry.record(app=ctx.comm.name, op="close", path=ctx.path,
+                              t_start=t0, driver=self.name)
+
+    def sync(self, state: _OpenFile) -> Generator:
+        sess = state.session
+        if sess.flush_event is not None and not sess.flush_event.processed:
+            yield sess.flush_event
+
+    # -- flush ------------------------------------------------------------
+    def _start_flush(self, sess: _Session, app: str) -> Event:
+        pending = sess.bytes_cached - sess.flushed_bytes
+        if pending <= 0:
+            ev = self.engine.event(name="de-flush-noop")
+            ev.succeed(0.0)
+            sess.flush_event = ev
+            return ev
+        proc = self.engine.process(self._flush(sess, pending, app),
+                                   name=f"de-flush:{sess.path}")
+        sess.flush_event = proc
+        return proc
+
+    def _flush(self, sess: _Session, pending: float, app: str) -> Generator:
+        t0 = self.engine.now
+        machine = self.machine
+        servers = self.servers.total_servers
+        # Default striping, shared-file output layout, no IA migration.
+        plan = default_plan(pending, servers, machine.spec.lustre)
+        cpu_eff = self.servers.flush_cpu_efficiency()
+        injection_cap = machine.network.injection_cap(
+            self.servers.servers_per_node)
+        bb = machine.burst_buffer
+        flows = [
+            machine.lustre.write_with_layout(
+                plan.bytes_per_server, plan.layout,
+                per_stream_cap=injection_cap, efficiency=cpu_eff,
+                shared_file_writers=servers,
+                tag=f"de-flush-write:{sess.path}"),
+            bb.read(pending / servers, streams=servers,
+                    per_stream_cap=bb.flush_cap(self.servers.servers_per_node),
+                    efficiency=cpu_eff, tag=f"de-flush-read:{sess.path}"),
+        ]
+        yield self.engine.all_of(flows)
+        # Functionally materialise on the PFS.
+        out = machine.pfs_files.create(sess.path)
+        for extent in sess.bb_file.read_at(0, sess.bb_file.size):
+            out.write_at(extent.offset, extent.length, extent.payload,
+                         extent.payload_offset)
+        sess.flushed_bytes += pending
+        self.telemetry.record(app=app, op="flush", path=sess.path,
+                              t_start=t0, nbytes=pending, driver=self.name)
+        return pending

@@ -1,0 +1,146 @@
+"""Plain-Lustre baseline: MPI-IO straight onto the PFS (§III-A).
+
+"Applications can only use Lustre to write data from local DRAM to the
+file system" — one shared file, N-to-1 access, the system-default stripe
+settings, no caching anywhere.
+
+The driver also implements ROMIO's classic **two-phase collective
+buffering** as an opt-in hint (``hints={"cb_nodes": N}``): ranks shuffle
+their data to N aggregator processes over the interconnect, and only the
+aggregators touch Lustre — far fewer writers on the extent locks, at the
+cost of an extra network pass.  The paper's baseline runs without it (its
+Lustre numbers match untuned N-to-1 behaviour); the
+``test_ablation_collective_buffering`` bench quantifies how much of
+UniviStor's win survives a tuned baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List
+
+from repro.analysis.metrics import Telemetry
+from repro.cluster.topology import Machine
+from repro.simmpi.adio import ADIODriver, OpenContext
+from repro.simmpi.mpiio import IORequest
+from repro.storage.posix import SimFile
+
+__all__ = ["LustreDirectDriver"]
+
+
+@dataclass
+class _OpenFile:
+    ctx: OpenContext
+    sim_file: SimFile
+    #: Aggregator count for two-phase collective buffering (0 = off).
+    cb_nodes: int = 0
+
+
+class LustreDirectDriver(ADIODriver):
+    """The ``ufs``-on-Lustre ADIO driver."""
+
+    name = "lustre"
+
+    def __init__(self, machine: Machine, telemetry: Telemetry):
+        self.machine = machine
+        self.engine = machine.engine
+        self.telemetry = telemetry
+
+    def open(self, ctx: OpenContext) -> Generator:
+        t0 = self.engine.now
+        net = self.machine.network
+        # Collective open: rank 0 creates/stats at the MDS, broadcast.
+        yield self.engine.timeout(self.machine.spec.lustre.latency)
+        yield net.rpc(1, serialized=False)
+        yield ctx.comm.bcast_small()
+        sim_file = self.machine.pfs_files.create(ctx.path)
+        cb_nodes = int(ctx.hints.get("cb_nodes", 0))
+        if cb_nodes < 0:
+            raise ValueError(f"cb_nodes must be >= 0, got {cb_nodes}")
+        self.telemetry.record(app=ctx.comm.name, op="open", path=ctx.path,
+                              t_start=t0, driver=self.name)
+        return _OpenFile(ctx=ctx, sim_file=sim_file, cb_nodes=cb_nodes)
+
+    def write_at_all(self, state: _OpenFile, requests: List[IORequest]
+                     ) -> Generator:
+        t0 = self.engine.now
+        ctx = state.ctx
+        total = 0.0
+        writers = 0
+        for req in requests:
+            if req.length == 0:
+                continue
+            state.sim_file.write_at(req.offset, req.length, req.payload,
+                                    req.payload_offset)
+            total += req.length
+            writers += 1
+        if writers and state.cb_nodes > 0:
+            yield from self._two_phase_write(state, total, writers)
+        elif writers:
+            lustre = self.machine.lustre
+            net = self.machine.network
+            cap = min(net.injection_cap(ctx.comm.procs_per_node),
+                      lustre.spec.client_node_bandwidth
+                      / ctx.comm.procs_per_node)
+            yield lustre.write_shared_file(total / writers, writers=writers,
+                                           per_stream_cap=cap,
+                                           tag=f"lustre-write:{ctx.path}")
+        self.telemetry.record(app=ctx.comm.name, op="write", path=ctx.path,
+                              t_start=t0, nbytes=total, driver=self.name)
+
+    def _two_phase_write(self, state: _OpenFile, total: float,
+                         writers: int) -> Generator:
+        """ROMIO collective buffering: shuffle to aggregators, then few
+        contiguous-range writers hit Lustre."""
+        ctx = state.ctx
+        lustre = self.machine.lustre
+        net = self.machine.network
+        aggregators = min(state.cb_nodes, writers)
+        # Phase 1: all ranks exchange data with the aggregators.
+        yield net.transfer(total / writers, streams=writers,
+                           streams_per_node=ctx.comm.procs_per_node,
+                           tag=f"cb-shuffle:{ctx.path}")
+        # Phase 2: aggregators write contiguous, lock-aligned ranges —
+        # the mild range contention instead of the N-to-1 plateau.
+        from repro.core.striping import default_plan
+        plan = default_plan(max(total, 1.0), aggregators, lustre.spec)
+        agg_per_node = max(1, aggregators // len(self.machine.nodes))
+        # Aggregators ride the same llite/LNET client path as any rank.
+        cap = min(net.injection_cap(agg_per_node),
+                  lustre.spec.client_node_bandwidth / agg_per_node)
+        yield lustre.write_with_layout(
+            total / aggregators, plan.layout, per_stream_cap=cap,
+            shared_file_writers=aggregators,
+            tag=f"cb-write:{ctx.path}")
+
+    def read_at_all(self, state: _OpenFile, requests: List[IORequest]
+                    ) -> Generator:
+        t0 = self.engine.now
+        ctx = state.ctx
+        results: Dict[int, list] = {}
+        total = 0.0
+        readers = 0
+        for req in requests:
+            results[req.rank] = state.sim_file.read_at(req.offset, req.length)
+            if req.length > 0:
+                total += req.length
+                readers += 1
+        if readers:
+            lustre = self.machine.lustre
+            net = self.machine.network
+            cap = min(net.injection_cap(ctx.comm.procs_per_node),
+                      lustre.spec.client_node_bandwidth
+                      / ctx.comm.procs_per_node)
+            yield lustre.read_shared_file(total / readers, readers=readers,
+                                          per_stream_cap=cap,
+                                          tag=f"lustre-read:{ctx.path}")
+        self.telemetry.record(app=ctx.comm.name, op="read", path=ctx.path,
+                              t_start=t0, nbytes=total, driver=self.name)
+        return results
+
+    def close(self, state: _OpenFile) -> Generator:
+        t0 = self.engine.now
+        yield self.machine.network.rpc(1, serialized=False)
+        self.telemetry.record(app=state.ctx.comm.name, op="close",
+                              path=state.ctx.path, t_start=t0,
+                              driver=self.name)

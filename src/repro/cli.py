@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro machine   [--preset cori|summit] [--nodes N]
+    repro micro     --procs N --system SYSTEM [--mb-per-proc M] [--read]
+    repro vpic      --procs N --system SYSTEM [--steps S] [--compute SEC]
+    repro workflow  --procs N --system SYSTEM [--steps S] [--overlap]
+    repro figures   [--sweep paper|small|...] [--out DIR] [--only fig6a,..]
+
+``repro`` is installed as a console script; ``python -m repro.cli`` works
+too.  SYSTEM is one of the paper's legend labels: ``UniviStor/DRAM``,
+``UniviStor/BB``, ``UniviStor/(DRAM+BB)``, ``UniviStor/(Disk)``, ``DE``,
+``Lustre``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.timeline import build_timeline
+from repro.analysis.utilisation import machine_utilisation
+from repro.cluster.spec import MachineSpec
+from repro.experiments.common import (
+    PROCS_PER_NODE,
+    build_simulation,
+    io_rate,
+)
+from repro.units import GiB, MiB, fmt_bytes, fmt_rate, fmt_time
+from repro.workloads import MicroBench, VpicIO
+
+__all__ = ["main"]
+
+SYSTEMS = ["UniviStor/DRAM", "UniviStor/BB", "UniviStor/(DRAM+BB)",
+           "UniviStor/(Disk)", "DE", "Lustre"]
+
+
+def _spec(preset: str, nodes: int) -> MachineSpec:
+    if preset == "cori":
+        return MachineSpec.cori_haswell(nodes=nodes)
+    if preset == "summit":
+        return MachineSpec.summit_like(nodes=nodes)
+    raise SystemExit(f"unknown preset {preset!r}")
+
+
+def cmd_machine(args) -> int:
+    spec = _spec(args.preset, args.nodes)
+    node = spec.node
+    print(f"machine preset: {args.preset} ({spec.nodes} nodes)")
+    print(f"  node: {node.cores} cores / {node.numa_sockets} NUMA sockets, "
+          f"{fmt_bytes(node.dram_capacity)} DRAM "
+          f"({fmt_bytes(node.dram_cache_capacity)} UniviStor cache at "
+          f"{fmt_rate(node.dram_cache_bandwidth)})")
+    if node.local_ssd_capacity:
+        print(f"  node-local SSD: {fmt_bytes(node.local_ssd_capacity)} at "
+              f"{fmt_rate(node.local_ssd_bandwidth)}")
+    bb = spec.burst_buffer
+    if bb is not None:
+        print(f"  shared burst buffer: {bb.nodes} appliance nodes, "
+              f"{fmt_rate(bb.aggregate_bandwidth)} aggregate, "
+              f"{fmt_bytes(bb.capacity)}")
+    lustre = spec.lustre
+    print(f"  lustre: {lustre.osts} OSTs x "
+          f"{fmt_rate(lustre.ost_bandwidth)} = "
+          f"{fmt_rate(lustre.aggregate_bandwidth)} aggregate")
+    print(f"  network: {fmt_rate(spec.network.injection_bandwidth)} "
+          f"injection/node")
+    print(f"  capacity for clients: {spec.nodes * node.cores} cores -> "
+          f"{spec.nodes * PROCS_PER_NODE} ranks at 32/node")
+    return 0
+
+
+def cmd_micro(args) -> int:
+    sim, fstype = build_simulation(args.procs, args.system)
+    comm = sim.comm("iobench", size=args.procs)
+    bench = MicroBench(sim, comm, "/pfs/micro.h5", fstype,
+                       bytes_per_proc=args.mb_per_proc * MiB)
+
+    def app():
+        yield from bench.write_phase(sync=args.sync)
+        if args.read:
+            yield from bench.read_phase(verify=True)
+
+    sim.run_to_completion(app(), name="micro")
+    w = io_rate(sim, "iobench", ops=("open", "write", "close"),
+                data_ops=("write",))
+    print(f"{args.system}: {args.procs} procs x "
+          f"{args.mb_per_proc} MiB")
+    print(f"  write: {fmt_rate(w)}")
+    if args.read:
+        r = io_rate(sim, "iobench", ops=("open", "read", "close"),
+                    data_ops=("read",))
+        print(f"  read:  {fmt_rate(r)}  (verified)")
+    flush_rate = sim.telemetry.io_rate(op="flush")
+    if flush_rate:
+        print(f"  flush: {fmt_rate(flush_rate)}")
+    print(f"  simulated time: {fmt_time(sim.now)}")
+    if args.utilisation:
+        print("\nutilisation:")
+        print(machine_utilisation(sim.machine).to_markdown(top=8))
+    return 0
+
+
+def cmd_vpic(args) -> int:
+    sim, fstype = build_simulation(args.procs, args.system)
+    comm = sim.comm("vpic", size=args.procs)
+    vpic = VpicIO(sim, comm, fstype, steps=args.steps,
+                  compute_seconds=args.compute)
+    sim.run_to_completion(vpic.run(sync_last=True), name="vpic")
+    print(f"{args.system}: {args.steps}-step VPIC-IO at {args.procs} procs")
+    print(f"  measured I/O time: {fmt_time(vpic.measured_io_time())}")
+    print(f"  exposed last flush: "
+          f"{fmt_time(sim.telemetry.total_time(op='flush-wait'))}")
+    print(f"  total elapsed (incl. compute): {fmt_time(sim.now)}")
+    if args.timeline:
+        print("\ntimeline:")
+        print(build_timeline(sim.telemetry,
+                             ops=["write", "flush", "flush-wait"]).render())
+    return 0
+
+
+def cmd_workflow(args) -> int:
+    from repro.experiments.fig9 import run_workflow
+    elapsed = run_workflow(args.procs, args.system, args.overlap,
+                           args.steps, verify=True)
+    mode = "overlap" if args.overlap else "nonoverlap"
+    print(f"{args.system} {mode}: {args.steps}-step VPIC + BD-CATS at "
+          f"{args.procs} procs -> elapsed {fmt_time(elapsed)} (verified)")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.experiments.runall import main as runall_main
+    forwarded: List[str] = []
+    if args.sweep:
+        forwarded += ["--sweep", args.sweep]
+    if args.out:
+        forwarded += ["--out", args.out]
+    if args.only:
+        forwarded += ["--only", args.only]
+    return runall_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UniviStor reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("machine", help="describe a machine preset")
+    p.add_argument("--preset", default="cori", choices=["cori", "summit"])
+    p.add_argument("--nodes", type=int, default=8)
+    p.set_defaults(fn=cmd_machine)
+
+    p = sub.add_parser("micro", help="run the §III-B micro-benchmark")
+    p.add_argument("--procs", type=int, default=64)
+    p.add_argument("--system", default="UniviStor/DRAM", choices=SYSTEMS)
+    p.add_argument("--mb-per-proc", type=float, default=256.0)
+    p.add_argument("--read", action="store_true")
+    p.add_argument("--sync", action="store_true",
+                   help="wait for the flush and report its rate")
+    p.add_argument("--utilisation", action="store_true")
+    p.set_defaults(fn=cmd_micro)
+
+    p = sub.add_parser("vpic", help="run the VPIC-IO kernel (§III-C)")
+    p.add_argument("--procs", type=int, default=64)
+    p.add_argument("--system", default="UniviStor/DRAM", choices=SYSTEMS)
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--compute", type=float, default=60.0)
+    p.add_argument("--timeline", action="store_true",
+                   help="render an ASCII Gantt of writes vs flushes")
+    p.set_defaults(fn=cmd_vpic)
+
+    p = sub.add_parser("workflow",
+                       help="run the VPIC + BD-CATS workflow (§III-D)")
+    p.add_argument("--procs", type=int, default=64)
+    p.add_argument("--system", default="UniviStor/DRAM",
+                   choices=[s for s in SYSTEMS if s != "UniviStor/(Disk)"]
+                   + ["UniviStor/(Disk)"])
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--overlap", action="store_true")
+    p.set_defaults(fn=cmd_workflow)
+
+    p = sub.add_parser("figures",
+                       help="regenerate the paper's figures (runall)")
+    p.add_argument("--sweep", default=None)
+    p.add_argument("--out", default=None)
+    p.add_argument("--only", default=None)
+    p.set_defaults(fn=cmd_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

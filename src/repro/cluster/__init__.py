@@ -1,0 +1,36 @@
+"""Machine model: nodes, NUMA sockets, interconnect and attached storage.
+
+The model is parameterised by :class:`~repro.cluster.spec.MachineSpec`; the
+default, :meth:`MachineSpec.cori_haswell`, matches the published
+configuration of NERSC Cori's Haswell partition that the paper evaluated on
+(32 cores / 2 NUMA sockets / 128 GB DRAM per node, DataWarp shared burst
+buffer, Lustre with 248 OSTs).
+"""
+
+from repro.cluster.spec import (
+    BurstBufferSpec,
+    LustreSpec,
+    MachineSpec,
+    NetworkSpec,
+    NodeSpec,
+    SchedulingSpec,
+)
+from repro.cluster.node import ComputeNode
+from repro.cluster.cpu import CorePlacement, PlacementPolicy, placement_efficiency
+from repro.cluster.network import Interconnect
+from repro.cluster.topology import Machine
+
+__all__ = [
+    "BurstBufferSpec",
+    "ComputeNode",
+    "CorePlacement",
+    "Interconnect",
+    "LustreSpec",
+    "Machine",
+    "MachineSpec",
+    "NetworkSpec",
+    "NodeSpec",
+    "PlacementPolicy",
+    "SchedulingSpec",
+    "placement_efficiency",
+]

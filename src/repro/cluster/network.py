@@ -1,0 +1,82 @@
+"""Interconnect model.
+
+Storage flows embed the per-node injection limit as per-stream caps on the
+target device's pipe (documented in DESIGN.md §5); the backbone resource
+here carries *node-to-node* data — the location-aware read service's
+server round-trips and server-to-server metadata shuffles — plus the
+latency/RPC cost model used by open/close and KV look-ups.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.cluster.spec import NetworkSpec
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import BandwidthResource
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """Cray-Aries-like network: backbone pipe + latency/RPC accounting."""
+
+    def __init__(self, engine: Engine, spec: NetworkSpec, nodes: int):
+        self.engine = engine
+        self.spec = spec
+        self.nodes = nodes
+        backbone = min(spec.backbone_bandwidth,
+                       nodes * spec.injection_bandwidth)
+        self.backbone = BandwidthResource(engine, backbone,
+                                          latency=spec.latency,
+                                          name="backbone")
+
+    # -- bulk data --------------------------------------------------------
+    def transfer(self, nbytes_per_stream: float, streams: int = 1,
+                 streams_per_node: int = 1, efficiency: float = 1.0,
+                 tag: Optional[str] = None) -> Event:
+        """Move data across nodes; each stream is capped by its node's
+        injection share (``injection_bw / streams_per_node``)."""
+        cap = self.spec.injection_bandwidth / max(1, streams_per_node)
+        return self.backbone.transfer(nbytes_per_stream, streams=streams,
+                                      per_stream_cap=cap,
+                                      efficiency=efficiency,
+                                      tag=tag or "net")
+
+    def injection_cap(self, streams_per_node: int) -> float:
+        """Per-stream bandwidth ceiling for ``streams_per_node`` concurrent
+        streams leaving (or entering) one node — passed to storage pipes."""
+        return self.spec.injection_bandwidth / max(1, streams_per_node)
+
+    # -- small messages ----------------------------------------------------
+    def rpc_cost(self, requests: int, serialized: bool = True,
+                 op_time: Optional[float] = None) -> float:
+        """Time for ``requests`` metadata RPCs at one endpoint.
+
+        ``serialized=True`` models an all-to-one pattern (the §II-F
+        open/close problem): the target server works the requests off one
+        by one.  Non-serialised requests cost a single round trip.
+        ``op_time`` overrides the per-request server-side cost (defaults
+        to the KV ``rpc_time``; file opens pass the heavier create/stat
+        costs).
+        """
+        if requests <= 0:
+            return 0.0
+        cost = self.spec.rpc_time if op_time is None else op_time
+        if serialized:
+            return requests * cost + 2 * self.spec.latency
+        return cost + 2 * self.spec.latency
+
+    def bcast_cost(self, nprocs: int) -> float:
+        """Binomial-tree broadcast of a small message to ``nprocs`` ranks."""
+        if nprocs <= 1:
+            return 0.0
+        hops = math.ceil(math.log2(nprocs))
+        return hops * (self.spec.latency + self.spec.rpc_time * 0.1)
+
+    def rpc(self, requests: int = 1, serialized: bool = True,
+            op_time: Optional[float] = None) -> Event:
+        """Timed variant of :meth:`rpc_cost` as an engine event."""
+        return self.engine.timeout(
+            self.rpc_cost(requests, serialized, op_time=op_time))

@@ -1,0 +1,318 @@
+"""Hardware specifications and performance-model tunables.
+
+Every number the performance model consumes lives here, so calibrating the
+reproduction against the paper's ratio bands is a matter of adjusting one
+frozen dataclass.  The defaults describe a Cori-Haswell-like machine:
+
+* compute node: 32 cores on 2 NUMA sockets, 128 GiB DDR4 (§III-A),
+* shared burst buffer: DataWarp-style SSD appliance nodes,
+* Lustre: 248 OSTs (§III-A).
+
+Capacities use binary units; bandwidths use decimal GB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.units import GB, GiB, MB, MiB, TiB, USEC
+
+__all__ = [
+    "NodeSpec",
+    "BurstBufferSpec",
+    "LustreSpec",
+    "NetworkSpec",
+    "SchedulingSpec",
+    "MachineSpec",
+]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node.
+
+    ``dram_cache_capacity`` is the slice of DRAM UniviStor may use for its
+    memory-mapped logs (the application keeps the rest); the paper sizes
+    this implicitly via "the dataset is too large to fit" experiments.
+    """
+
+    cores: int = 32
+    numa_sockets: int = 2
+    dram_capacity: float = 128 * GiB
+    #: STREAM-like aggregate node memory bandwidth (both sockets).
+    dram_bandwidth: float = 110 * GB
+    #: Fraction of raw memory bandwidth achievable by cache-style writes
+    #: into UniviStor's mmap'd logs: client-side copy into shared memory,
+    #: log/chunk bookkeeping and metadata-record generation all ride on the
+    #: same cores, so the paper-scale effective rate is a few GB/s per node
+    #: (calibrated against Fig. 6a's UniviStor/DRAM-to-Lustre ratios).
+    dram_copy_efficiency: float = 0.025
+    #: Reads skip the append-side bookkeeping; they run this much faster.
+    dram_read_factor: float = 1.4
+    #: DRAM capacity UniviStor's caching service may occupy per node.
+    #: Sized so 5 VPIC-IO steps fit and 10 steps spill roughly half
+    #: (§III-C): 32 procs x 256 MiB x 5 steps = 40 GiB < 48 GiB < 80 GiB.
+    dram_cache_capacity: float = 48 * GiB
+    #: Per-operation software latency of the local cache path.
+    dram_latency: float = 25 * USEC
+    #: Optional node-local SSD/NVRAM burst buffer (Cori Haswell had none;
+    #: kept for machines like Summit).  ``None`` disables the layer.
+    local_ssd_capacity: Optional[float] = None
+    local_ssd_bandwidth: float = 2 * GB
+    local_ssd_latency: float = 80 * USEC
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.numa_sockets < 1:
+            raise ValueError(f"numa_sockets must be >= 1")
+        if self.cores % self.numa_sockets != 0:
+            raise ValueError(
+                f"cores ({self.cores}) not divisible by sockets "
+                f"({self.numa_sockets})")
+        if self.dram_cache_capacity > self.dram_capacity:
+            raise ValueError("dram_cache_capacity exceeds dram_capacity")
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.cores // self.numa_sockets
+
+    @property
+    def dram_cache_bandwidth(self) -> float:
+        """Effective per-node bandwidth of the DRAM caching layer."""
+        return self.dram_bandwidth * self.dram_copy_efficiency
+
+
+@dataclass(frozen=True)
+class BurstBufferSpec:
+    """The shared (network-attached) burst buffer, DataWarp-style.
+
+    Per-compute-node throughput is far below the appliance aggregate and
+    differs by access style: many small client streams ride the DVS mount
+    and see ~1 GB/s/node, while a server flush doing large sequential log
+    reads sustains several GB/s — both match published DataWarp numbers.
+    """
+
+    #: Appliance nodes backing the job's burst-buffer allocation.
+    nodes: int = 48
+    per_node_bandwidth: float = 4.0 * GB
+    capacity: float = 80 * TiB
+    latency: float = 250 * USEC
+    #: Aggregate read speed relative to write (SSD appliances read faster).
+    read_factor: float = 1.3
+    #: Per-compute-node ceilings for *client* I/O streams.
+    client_node_write_bandwidth: float = 0.95 * GB
+    client_node_read_bandwidth: float = 0.85 * GB
+    #: Per-compute-node ceiling for server flush streams (large sequential
+    #: log reads/writes).
+    flush_node_bandwidth: float = 8.0 * GB
+    #: Lock/serialisation penalty exponent for *shared-file* writes: with W
+    #: concurrent writers to one striped shared file the per-writer
+    #: efficiency is ``1 / (1 + shared_file_alpha * log2(W))`` — DataWarp
+    #: stripes a shared file across BB nodes much like a PFS, so writers
+    #: collide on stripe boundaries.  File-per-process I/O pays nothing.
+    shared_file_alpha: float = 0.04
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        return self.nodes * self.per_node_bandwidth
+
+    def shared_file_efficiency(self, writers: int) -> float:
+        """Per-writer goodput factor for a shared-file access pattern."""
+        if writers <= 1:
+            return 1.0
+        import math
+        return 1.0 / (1.0 + self.shared_file_alpha * math.log2(writers))
+
+
+@dataclass(frozen=True)
+class LustreSpec:
+    """Disk-based parallel file system with ``osts`` object storage targets."""
+
+    osts: int = 248
+    ost_bandwidth: float = 1.1 * GB
+    capacity: float = 28_000 * TiB
+    latency: float = 2_000 * USEC
+    #: Default stripe settings applied when a file is created without the
+    #: adaptive policy (Cori's defaults were 1 MiB / broad striping for
+    #: large shared files; we model progressive-file-layout-free defaults).
+    default_stripe_size: float = 1 * MiB
+    default_stripe_count: int = 248
+    #: Largest stripe size the system allows (``S_max`` in Eq. 3).
+    max_stripe_size: float = 1 * GiB
+    #: ``alpha`` in Eq. 2 — the smallest number of OSTs that saturates one
+    #: flushing server's bandwidth.
+    saturation_stripe_count: int = 8
+    #: N-to-1 (single shared file) writes hit an extent-lock plateau that
+    #: grows sub-linearly with the writer count: total goodput is about
+    #: ``plateau_base * sqrt(W)`` — the well-documented flat-ish scaling of
+    #: untuned shared-file I/O on Lustre.  Reads take shared locks and
+    #: plateau higher.
+    shared_write_plateau_base: float = 0.175 * GB
+    shared_read_plateau_base: float = 0.5 * GB
+    #: Contiguous non-overlapping ranges into one shared file (the flush
+    #: pattern) conflict only at range boundaries — a mild penalty:
+    #: ``1 / (1 + range_write_alpha * log2(W))``.
+    range_write_alpha: float = 0.03
+    #: Per-compute-node ceiling for *client* Lustre streams (llite/LNET
+    #: software path with many concurrent client writers); server flush
+    #: streams do large sequential RPCs and are only injection-bound.
+    client_node_bandwidth: float = 1.2 * GB
+    #: Per-extra-OST synchronisation overhead a single writer pays when its
+    #: data is striped over k OSTs: ``1 / (1 + stripe_sync_cost * (k-1))``.
+    stripe_sync_cost: float = 0.003
+    #: File-per-process writes scale well but not perfectly: W concurrent
+    #: per-process files cost MDS traffic and OST seek interleaving,
+    #: ``1 / (1 + fpp_alpha * log2(W))``.
+    fpp_alpha: float = 0.025
+    #: Disk arrays seek-thrash when reads and writes mix: while both are
+    #: in flight on the OSTs, every flow runs at this factor.  (This is
+    #: why placing a workflow's data on the PFS is so much worse than its
+    #: write-only cost suggests — Fig. 10's UniviStor/(Disk) case.)
+    mixed_workload_factor: float = 0.42
+
+    def shared_file_plateau(self, writers: int, read: bool = False) -> float:
+        """Aggregate goodput ceiling for W-writer N-to-1 access."""
+        import math
+        base = (self.shared_read_plateau_base if read
+                else self.shared_write_plateau_base)
+        return min(base * math.sqrt(max(1, writers)),
+                   self.aggregate_bandwidth)
+
+    def fpp_efficiency(self, writers: int) -> float:
+        """Per-writer factor for file-per-process access."""
+        if writers <= 1:
+            return 1.0
+        import math
+        return 1.0 / (1.0 + self.fpp_alpha * math.log2(writers))
+
+    def range_write_efficiency(self, writers: int) -> float:
+        """Per-writer factor for contiguous-range shared-file writes."""
+        if writers <= 1:
+            return 1.0
+        import math
+        return 1.0 / (1.0 + self.range_write_alpha * math.log2(writers))
+
+    def stripe_sync_efficiency(self, stripe_count_per_writer: int) -> float:
+        """Goodput factor for one writer spreading over ``k`` OSTs."""
+        k = max(1, stripe_count_per_writer)
+        return 1.0 / (1.0 + self.stripe_sync_cost * (k - 1))
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        return self.osts * self.ost_bandwidth
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Cray-Aries-like interconnect."""
+
+    #: Injection bandwidth per compute node.
+    injection_bandwidth: float = 10 * GB
+    #: Global backbone cap (bisection-style), shared by all cross-node data.
+    backbone_bandwidth: float = 5_000 * GB
+    #: One-way small-message latency.
+    latency: float = 1.3 * USEC
+    #: Cost per metadata/RPC request (software + wire) for KV look-ups
+    #: and record inserts.
+    rpc_time: float = 55 * USEC
+    #: Server-side cost of a file create / EOF-update metadata operation
+    #: (what every rank sends to the same server at open-for-write and at
+    #: close-after-write when COC is off, §II-F).
+    file_create_time: float = 500 * USEC
+    #: Server-side cost of a file attribute fetch (open-for-read /
+    #: close-after-read).
+    file_stat_time: float = 120 * USEC
+
+
+@dataclass(frozen=True)
+class SchedulingSpec:
+    """Tunables of the CPU-placement interference model (§II-C, Fig. 4).
+
+    The placement *algorithms* are implemented faithfully in
+    :mod:`repro.cluster.cpu`; these constants translate a concrete placement
+    into a throughput factor.
+    """
+
+    #: Throughput multiplier for each process stacked beyond the first on a
+    #: core (context-switch + cache-thrash waste under CFS).
+    context_switch_factor: float = 0.62
+    #: Extra penalty when processes of *different* programs share a core
+    #: (the P1_1/P2_1 interference of Fig. 4a).
+    cross_program_factor: float = 0.80
+    #: How much of the CFS placement's socket imbalance translates into
+    #: lost memory bandwidth (1.0 = fully bandwidth-bound workload).
+    numa_sensitivity: float = 1.0
+    #: Probability weight of CFS co-locating same-program processes on one
+    #: socket; used by the randomised CFS placement model.
+    cfs_socket_bias: float = 0.35
+    #: Efficiency of the interference-aware placement itself (bookkeeping
+    #: and migration are not free).
+    ia_overhead_factor: float = 0.985
+    #: During a server flush without IA migration, co-located clients steal
+    #: this fraction of the servers' effective CPU/memory time.
+    flush_interference_factor: float = 0.66
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Full machine: ``nodes`` compute nodes + shared BB + Lustre + network."""
+
+    nodes: int = 8
+    node: NodeSpec = field(default_factory=NodeSpec)
+    burst_buffer: Optional[BurstBufferSpec] = field(default_factory=BurstBufferSpec)
+    lustre: LustreSpec = field(default_factory=LustreSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    scheduling: SchedulingSpec = field(default_factory=SchedulingSpec)
+    seed: int = 2018
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+
+    @staticmethod
+    def cori_haswell(nodes: int = 8, seed: int = 2018, **overrides) -> "MachineSpec":
+        """The evaluation platform of §III-A.
+
+        Any field of :class:`MachineSpec` can be overridden by keyword.
+        """
+        spec = MachineSpec(nodes=nodes, seed=seed)
+        return replace(spec, **overrides) if overrides else spec
+
+    @staticmethod
+    def summit_like(nodes: int = 8, seed: int = 2018,
+                    **overrides) -> "MachineSpec":
+        """A machine with *node-local* NVMe burst buffers (Fig. 1's
+        "DRAM and/or NVRAM-based burst buffer on each compute node"):
+        Summit-style 1.6 TB/node XFS-on-NVMe at ~2 GB/s write.
+
+        Exercises the full four-layer hierarchy DRAM -> local SSD ->
+        shared BB -> PFS.
+        """
+        node = NodeSpec(local_ssd_capacity=1.6 * 1e12,
+                        local_ssd_bandwidth=2 * GB,
+                        local_ssd_latency=80 * USEC)
+        spec = MachineSpec(nodes=nodes, node=node, seed=seed)
+        return replace(spec, **overrides) if overrides else spec
+
+    @staticmethod
+    def small_test(nodes: int = 2, seed: int = 7) -> "MachineSpec":
+        """A tiny machine for fast unit/integration tests."""
+        return MachineSpec(
+            nodes=nodes,
+            node=NodeSpec(cores=4, numa_sockets=2,
+                          dram_capacity=4 * GiB,
+                          dram_cache_capacity=2 * GiB,
+                          dram_bandwidth=10 * GB),
+            burst_buffer=BurstBufferSpec(nodes=2, per_node_bandwidth=1 * GB,
+                                         capacity=8 * GiB),
+            lustre=LustreSpec(osts=8, ost_bandwidth=0.5 * GB,
+                              capacity=1 * TiB,
+                              default_stripe_count=8),
+            network=NetworkSpec(),
+            seed=seed,
+        )
+
+    def with_nodes(self, nodes: int) -> "MachineSpec":
+        return replace(self, nodes=nodes)

@@ -1,0 +1,112 @@
+"""Adaptive, usage-driven data placement (§V future work).
+
+The paper's conclusions name "adaptive and proactive placement of data
+based on data usage patterns" as planned work.  The observation: DRAM is
+the scarcest tier, and a checkpoint stream that is written once and never
+read back before its flush wastes it — while workflow files that a
+consumer re-reads belong there.
+
+The advisor groups files into **streams** (path with trailing step/index
+digits stripped: ``/pfs/vpic_step3.h5`` → ``/pfs/vpic_step#.h5``), tracks
+whether past files of each stream were read from the cache, and reorders
+a new file's caching tiers accordingly:
+
+* stream has history and was **never** cache-read → demote node-local
+  tiers to the end of the spill order (shared tiers first), keeping DRAM
+  free for data that earns it;
+* stream was cache-read (or has no history yet) → keep the configured
+  order (optimism: first files of a stream stay fast).
+
+Enable with ``UniviStorConfig(adaptive_placement=True)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.config import StorageTier
+
+__all__ = ["StreamStats", "PlacementAdvisor"]
+
+_STEP_DIGITS = re.compile(r"\d+")
+
+
+def stream_key(path: str) -> str:
+    """Collapse trailing step/index digits: one key per file stream."""
+    return _STEP_DIGITS.sub("#", path)
+
+
+@dataclass
+class StreamStats:
+    """Observed behaviour of one file stream."""
+
+    files_written: int = 0
+    files_cache_read: int = 0
+    bytes_written: float = 0.0
+    bytes_cache_read: float = 0.0
+
+    @property
+    def read_ratio(self) -> float:
+        if self.files_written == 0:
+            return 0.0
+        return self.files_cache_read / self.files_written
+
+    @property
+    def looks_write_once(self) -> bool:
+        """History says: written, closed, never consumed from the cache."""
+        return self.files_written >= 2 and self.files_cache_read == 0
+
+
+class PlacementAdvisor:
+    """Per-stream usage statistics + tier-order advice."""
+
+    def __init__(self):
+        self._stats: Dict[str, StreamStats] = {}
+        #: paths whose cache reads were already counted (once per file).
+        self._read_seen: Dict[str, bool] = {}
+
+    def stats_for(self, path: str) -> StreamStats:
+        key = stream_key(path)
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = StreamStats()
+            self._stats[key] = stats
+        return stats
+
+    # -- observation hooks (called by the driver) ----------------------------
+    def note_write_close(self, path: str, nbytes: float) -> None:
+        """A written file closed: one more file of its stream."""
+        stats = self.stats_for(path)
+        stats.files_written += 1
+        stats.bytes_written += nbytes
+        self._read_seen.setdefault(path, False)
+
+    def note_cache_read(self, path: str, nbytes: float) -> None:
+        """Cached data of ``path`` was read back before deletion."""
+        stats = self.stats_for(path)
+        if not self._read_seen.get(path, False):
+            self._read_seen[path] = True
+            stats.files_cache_read += 1
+        stats.bytes_cache_read += nbytes
+
+    # -- advice ---------------------------------------------------------------
+    def advise_tiers(self, path: str,
+                     configured: Tuple[StorageTier, ...]
+                     ) -> Tuple[StorageTier, ...]:
+        """Possibly reorder the caching tiers for a new file of ``path``."""
+        stats = self._stats.get(stream_key(path))
+        if stats is None or not stats.looks_write_once:
+            return configured
+        shared = tuple(t for t in configured if t.is_shared)
+        local = tuple(t for t in configured if t.is_node_local)
+        return shared + local
+
+    def describe(self) -> Dict[str, Dict[str, float]]:
+        """Stream statistics snapshot (for reporting and tests)."""
+        return {key: {"files_written": s.files_written,
+                      "files_cache_read": s.files_cache_read,
+                      "read_ratio": s.read_ratio,
+                      "write_once": s.looks_write_once}
+                for key, s in self._stats.items()}

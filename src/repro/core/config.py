@@ -1,0 +1,127 @@
+"""UniviStor configuration: feature flags and tier selection."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.units import MiB
+
+__all__ = ["StorageTier", "UniviStorConfig"]
+
+
+class StorageTier(enum.Enum):
+    """The storage layers of Fig. 1, fastest first."""
+
+    DRAM = "dram"
+    LOCAL_SSD = "local_ssd"
+    SHARED_BB = "shared_bb"
+    PFS = "pfs"
+
+    @property
+    def is_node_local(self) -> bool:
+        return self in (StorageTier.DRAM, StorageTier.LOCAL_SSD)
+
+    @property
+    def is_shared(self) -> bool:
+        return not self.is_node_local
+
+
+@dataclass(frozen=True)
+class UniviStorConfig:
+    """Everything a UniviStor deployment can toggle.
+
+    The four optimisation flags map 1:1 onto the paper's evaluation
+    variants: ``interference_aware`` (IA), ``collective_open_close`` (COC),
+    ``adaptive_striping`` (ADPT) and ``location_aware_reads``;
+    ``workflow_enabled`` is the ``ENABLE_WORKFLOW`` environment variable of
+    §II-E, and ``cache_tiers`` selects the UniviStor/DRAM vs UniviStor/BB
+    vs UniviStor/(DRAM+BB) configurations of §III.
+    """
+
+    #: Caching tiers in spill order (fastest first).  The PFS is always the
+    #: final destination and is not listed here.
+    cache_tiers: Tuple[StorageTier, ...] = (StorageTier.DRAM,
+                                            StorageTier.SHARED_BB)
+    servers_per_node: int = 2  # the evaluation places 2 per node (§III-A)
+    interference_aware: bool = True
+    collective_open_close: bool = True
+    adaptive_striping: bool = True
+    location_aware_reads: bool = True
+    workflow_enabled: bool = False
+    #: Flush cached data to the PFS at close time (§II-A; applications
+    #: without persistence needs may disable it).
+    flush_enabled: bool = True
+    #: Log chunk size (§II-B1's "set of data chunks").
+    chunk_size: float = 8 * MiB
+    #: Metadata range width for the distributed KV partitioning (§II-B3).
+    metadata_range_size: float = 64 * MiB
+    #: Cap on a single process's DRAM log (None -> the c/p rule of §II-B1).
+    dram_log_capacity: Optional[float] = None
+    #: Cap on a single process's shared-BB log (None -> c/p rule).
+    bb_log_capacity: Optional[float] = None
+    #: §V future work — replicate volatile (node-local) cached data to the
+    #: shared burst buffer asynchronously at close, so a node failure
+    #: before the flush completes loses nothing.
+    resilience_enabled: bool = False
+    #: §V future work — adapt each new file's caching tiers to observed
+    #: usage patterns (write-once files skip the scarce DRAM tier).
+    adaptive_placement: bool = False
+
+    def __post_init__(self):
+        if self.servers_per_node < 1:
+            raise ValueError("servers_per_node must be >= 1")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.metadata_range_size <= 0:
+            raise ValueError("metadata_range_size must be positive")
+        if StorageTier.PFS in self.cache_tiers:
+            raise ValueError("PFS is the implicit destination tier; "
+                             "do not list it in cache_tiers")
+        if len(set(self.cache_tiers)) != len(self.cache_tiers):
+            raise ValueError("duplicate cache tiers")
+
+    # -- canned configurations (the paper's variants) ----------------------
+    @staticmethod
+    def dram_only(**kw) -> "UniviStorConfig":
+        """UniviStor/DRAM of §III: cache in distributed DRAM only."""
+        return UniviStorConfig(cache_tiers=(StorageTier.DRAM,), **kw)
+
+    @staticmethod
+    def bb_only(**kw) -> "UniviStorConfig":
+        """UniviStor/BB of §III: cache in the shared burst buffer only."""
+        return UniviStorConfig(cache_tiers=(StorageTier.SHARED_BB,), **kw)
+
+    @staticmethod
+    def dram_bb(**kw) -> "UniviStorConfig":
+        """UniviStor/(DRAM+BB): the full hierarchy of Figs. 8/10."""
+        return UniviStorConfig(cache_tiers=(StorageTier.DRAM,
+                                            StorageTier.SHARED_BB), **kw)
+
+    @staticmethod
+    def pfs_only(**kw) -> "UniviStorConfig":
+        """UniviStor/(Disk): no caching tier, write through to the PFS."""
+        return UniviStorConfig(cache_tiers=(), **kw)
+
+    @staticmethod
+    def full_hierarchy(**kw) -> "UniviStorConfig":
+        """All four layers of Fig. 1: DRAM -> node-local SSD -> shared BB
+        (-> PFS).  Needs a machine with node-local SSDs, e.g.
+        :meth:`MachineSpec.summit_like`."""
+        return UniviStorConfig(cache_tiers=(StorageTier.DRAM,
+                                            StorageTier.LOCAL_SSD,
+                                            StorageTier.SHARED_BB), **kw)
+
+    def without(self, *flags: str) -> "UniviStorConfig":
+        """Disable optimisation flags by name (for ablation variants)."""
+        valid = {"interference_aware", "collective_open_close",
+                 "adaptive_striping", "location_aware_reads",
+                 "workflow_enabled", "flush_enabled",
+                 "resilience_enabled", "adaptive_placement"}
+        changes = {}
+        for flag in flags:
+            if flag not in valid:
+                raise ValueError(f"unknown flag {flag!r}; valid: {sorted(valid)}")
+            changes[flag] = False
+        return replace(self, **changes)

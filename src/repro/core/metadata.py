@@ -1,0 +1,192 @@
+"""Distributed metadata service (§II-B3).
+
+One record per placed segment maps ``(FID, logical offset range)`` to
+``(ProcID, VA)`` — Fig. 3's ``M1..M16``.  Records are partitioned into
+fixed-width **offset ranges** and the ranges are assigned to servers
+round-robin, so (a) no single server owns a whole file's metadata (the
+scalability argument against the naive centralised map) and (b) a client
+can compute the owning server of any offset locally — one RPC per lookup.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.config import StorageTier
+
+__all__ = ["MetadataRecord", "MetadataService"]
+
+
+@dataclass(frozen=True)
+class MetadataRecord:
+    """Fig. 3's record: FID + offset -> source process + VA (+ locality)."""
+
+    fid: int
+    offset: int
+    length: int
+    proc_id: int
+    va: float
+    tier: StorageTier
+    #: Compute node hosting the segment (meaningful for node-local tiers;
+    #: the location-aware read service keys on this, §II-B4).
+    node_id: Optional[int] = None
+
+    def __post_init__(self):
+        if self.offset < 0 or self.length <= 0:
+            raise ValueError(f"invalid record range [{self.offset}, "
+                             f"+{self.length})")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def slice(self, start: int, end: int) -> "MetadataRecord":
+        """Sub-record for [start, end) ⊆ [offset, end); VA advances too."""
+        if not (self.offset <= start < end <= self.end):
+            raise ValueError(f"slice [{start}, {end}) outside record "
+                             f"[{self.offset}, {self.end})")
+        return replace(self, offset=start, length=end - start,
+                       va=self.va + (start - self.offset))
+
+
+class MetadataService:
+    """The distributed KV store over all UniviStor servers.
+
+    The functional store is exact (interval lists per (server, fid));
+    the *cost* of an operation is returned as the set of servers
+    contacted, which the caller prices with the network model.
+    """
+
+    def __init__(self, n_servers: int, range_size: float):
+        if n_servers < 1:
+            raise ValueError(f"need at least one server, got {n_servers}")
+        if range_size <= 0:
+            raise ValueError(f"range_size must be positive, got {range_size}")
+        self.n_servers = n_servers
+        self.range_size = float(range_size)
+        # server -> fid -> (sorted start offsets, records)
+        self._stores: List[Dict[int, Tuple[List[int], List[MetadataRecord]]]] = [
+            dict() for _ in range(n_servers)]
+
+    @property
+    def record_count(self) -> int:
+        return sum(len(recs) for store in self._stores
+                   for _starts, recs in store.values())
+
+    # -- partitioning ------------------------------------------------------
+    def server_of(self, offset: int) -> int:
+        """Owning server of ``offset``: range index round-robin (Fig. 3)."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        return int(offset // self.range_size) % self.n_servers
+
+    def servers_for_range(self, offset: int, length: int) -> Set[int]:
+        """All servers owning part of [offset, offset+length)."""
+        if length <= 0:
+            return set()
+        first = int(offset // self.range_size)
+        last = int((offset + length - 1) // self.range_size)
+        if last - first + 1 >= self.n_servers:
+            return set(range(self.n_servers))
+        return {(r % self.n_servers) for r in range(first, last + 1)}
+
+    def _split_by_range(self, record: MetadataRecord) -> Iterable[MetadataRecord]:
+        """Split a record at range boundaries so each piece has one owner."""
+        start = record.offset
+        while start < record.end:
+            boundary = (int(start // self.range_size) + 1) * self.range_size
+            end = min(record.end, int(boundary))
+            yield record.slice(start, end)
+            start = end
+
+    # -- mutation ----------------------------------------------------------
+    def insert(self, record: MetadataRecord) -> Set[int]:
+        """Insert (overwriting overlaps); returns servers contacted."""
+        touched: Set[int] = set()
+        for piece in self._split_by_range(record):
+            server = self.server_of(piece.offset)
+            touched.add(server)
+            self._insert_piece(server, piece)
+        return touched
+
+    def insert_many(self, records: Iterable[MetadataRecord]) -> Set[int]:
+        touched: Set[int] = set()
+        for record in records:
+            touched |= self.insert(record)
+        return touched
+
+    def _insert_piece(self, server: int, piece: MetadataRecord) -> None:
+        starts, recs = self._stores[server].setdefault(
+            piece.fid, ([], []))
+        # Remove/trim overlapped records (an overwrite supersedes them).
+        lo = bisect.bisect_left(starts, piece.offset)
+        if lo > 0 and recs[lo - 1].end > piece.offset:
+            lo -= 1
+        hi = lo
+        keep_left: Optional[MetadataRecord] = None
+        keep_right: Optional[MetadataRecord] = None
+        while hi < len(recs) and recs[hi].offset < piece.end:
+            old = recs[hi]
+            if old.offset < piece.offset:
+                keep_left = old.slice(old.offset, piece.offset)
+            if old.end > piece.end:
+                keep_right = old.slice(piece.end, old.end)
+            hi += 1
+        replacement = [r for r in (keep_left, piece, keep_right)
+                       if r is not None]
+        recs[lo:hi] = replacement
+        starts[lo:hi] = [r.offset for r in replacement]
+
+    def delete_file(self, fid: int) -> Set[int]:
+        """Drop all records of ``fid``; returns servers contacted."""
+        touched = set()
+        for server, store in enumerate(self._stores):
+            if fid in store:
+                touched.add(server)
+                del store[fid]
+        return touched
+
+    # -- lookup ------------------------------------------------------------
+    def lookup(self, fid: int, offset: int,
+               length: int) -> Tuple[List[MetadataRecord], Set[int]]:
+        """Records overlapping [offset, offset+length), clipped to it,
+        plus the servers contacted.  Unmapped holes are simply absent."""
+        if length <= 0:
+            return [], set()
+        end = offset + length
+        touched = self.servers_for_range(offset, length)
+        found: List[MetadataRecord] = []
+        for server in touched:
+            store = self._stores[server].get(fid)
+            if store is None:
+                continue
+            starts, recs = store
+            lo = bisect.bisect_left(starts, offset)
+            if lo > 0 and recs[lo - 1].end > offset:
+                lo -= 1
+            for rec in recs[lo:]:
+                if rec.offset >= end:
+                    break
+                if rec.end <= offset:
+                    continue
+                found.append(rec.slice(max(rec.offset, offset),
+                                       min(rec.end, end)))
+        found.sort(key=lambda r: r.offset)
+        return found, touched
+
+    def records_of(self, fid: int) -> List[MetadataRecord]:
+        """All records of a file in offset order (flush path)."""
+        out: List[MetadataRecord] = []
+        for store in self._stores:
+            entry = store.get(fid)
+            if entry:
+                out.extend(entry[1])
+        out.sort(key=lambda r: r.offset)
+        return out
+
+    def server_record_counts(self) -> List[int]:
+        """Records per server (for load-balance assertions in tests)."""
+        return [sum(len(recs) for _s, recs in store.values())
+                for store in self._stores]

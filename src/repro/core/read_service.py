@@ -1,0 +1,274 @@
+"""Location-aware read service (§II-B4).
+
+Baseline read path: every read request goes to the co-located server,
+which looks up the metadata, fetches the segment (possibly from a remote
+node's log) and hands it back — at least one network round trip and a
+server-side memory copy per request.
+
+The location-aware service removes both overheads where locality allows:
+
+* segments cached on the **reader's own node** are resolved against the
+  server's shared metadata buffer and copied straight out of local
+  storage — no server hop, no extra copy;
+* segments on the **shared burst buffer** are globally visible, so after
+  fetching the metadata the client reads them directly — no
+  server-to-server transfer.
+
+Only segments on *other nodes'* local storage still take the server
+round trip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Tuple
+
+from repro.core.config import StorageTier
+from repro.core.metadata import MetadataRecord
+from repro.simmpi.comm import Communicator
+from repro.simmpi.mpiio import IORequest
+from repro.storage.datamodel import Extent
+
+__all__ = ["ReadService", "ReadBreakdown"]
+
+#: Extra goodput penalty for local reads that are funnelled through the
+#: co-located server process (one more memory copy) when the
+#: location-aware service is disabled.
+_SERVER_COPY_FACTOR = 0.65
+
+
+@dataclass
+class ReadBreakdown:
+    """Byte accounting of one collective read (inspectable by tests)."""
+
+    local_bytes: float = 0.0
+    remote_bytes: float = 0.0
+    bb_bytes: float = 0.0
+    pfs_bytes: float = 0.0
+    #: ranks that touched each category (stream counts for the flows)
+    local_ranks: set = field(default_factory=set)
+    remote_ranks: set = field(default_factory=set)
+    bb_ranks: set = field(default_factory=set)
+    pfs_ranks: set = field(default_factory=set)
+    #: reader ranks with node-local hits, counted per node
+    local_ranks_by_node: Dict[int, int] = field(default_factory=dict)
+    lookups_per_server: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> float:
+        return (self.local_bytes + self.remote_bytes + self.bb_bytes
+                + self.pfs_bytes)
+
+
+class ReadService:
+    """Plans and executes collective reads against a file session."""
+
+    def __init__(self, system):
+        # ``system`` is a UniviStorServers; typed loosely to avoid an
+        # import cycle with repro.core.server.
+        self.system = system
+        self.machine = system.machine
+        self.engine = system.engine
+
+    # -- functional resolution ------------------------------------------------
+    def resolve(self, session, record: MetadataRecord) -> List[Extent]:
+        """Materialise a metadata record into logical-offset extents.
+
+        Records pointing at a failed node's local storage fall back to
+        the resilience replicas (when enabled) or raise
+        :class:`~repro.core.resilience.DataLossError`.
+        """
+        if (record.tier.is_node_local
+                and record.node_id in self.system.failed_nodes):
+            from repro.core.resilience import DataLossError
+            if not self.system.config.resilience_enabled:
+                raise DataLossError(
+                    f"{session.path}: [{record.offset}, +{record.length}) "
+                    f"lived only on failed node {record.node_id}")
+            return self.system.resilience.resolve_replica(session, record)
+        writer = session.writers.get(record.proc_id)
+        if writer is None:
+            raise KeyError(
+                f"{session.path}: no log for source process {record.proc_id}")
+        layer, addr = writer.vas.resolve(record.va)
+        pieces = writer.logs[layer].sim_file.read_at(int(addr),
+                                                     int(record.length))
+        rebase = record.offset - addr
+        return [Extent(int(p.offset + rebase), p.length, p.payload,
+                       p.payload_offset) for p in pieces]
+
+    # -- the collective read ----------------------------------------------------
+    def read_collective(self, session, comm: Communicator,
+                        requests: List[IORequest], program: str
+                        ) -> Generator:
+        """Timed collective read; returns ``({rank: [Extent]}, breakdown)``."""
+        location_aware = self.system.config.location_aware_reads
+        metadata = self.system.metadata
+        breakdown = ReadBreakdown()
+        results: Dict[int, List[Extent]] = {}
+        # keyed (node_id, tier): DRAM and local-SSD hits use their device.
+        local_bytes_by_node: Dict[tuple, float] = {}
+        remote_bytes_by_source: Dict[int, float] = {}
+
+        for req in requests:
+            if req.length == 0:
+                results[req.rank] = []
+                continue
+            records, servers = metadata.lookup(session.fid, req.offset,
+                                               req.length)
+            for s in servers:
+                breakdown.lookups_per_server[s] = (
+                    breakdown.lookups_per_server.get(s, 0) + 1)
+            covered = sum(r.length for r in records)
+            if covered < req.length:
+                raise ValueError(
+                    f"{session.path}: read [{req.offset}, +{req.length}) "
+                    f"touches {req.length - covered} unwritten bytes")
+            extents: List[Extent] = []
+            reader_node = comm.node_of_rank(req.rank)
+            for record in records:
+                extents.extend(self.resolve(session, record))
+                if (record.tier.is_node_local
+                        and record.node_id in self.system.failed_nodes):
+                    # Fail-over: served from the BB replica.
+                    breakdown.bb_bytes += record.length
+                    breakdown.bb_ranks.add(req.rank)
+                elif record.tier.is_node_local:
+                    if record.node_id == reader_node.node_id:
+                        key = (reader_node.node_id, record.tier)
+                        breakdown.local_bytes += record.length
+                        if req.rank not in breakdown.local_ranks:
+                            breakdown.local_ranks.add(req.rank)
+                            breakdown.local_ranks_by_node[key] = (
+                                breakdown.local_ranks_by_node.get(key, 0)
+                                + 1)
+                        local_bytes_by_node[key] = (
+                            local_bytes_by_node.get(key, 0.0)
+                            + record.length)
+                    else:
+                        rkey = (record.node_id, record.tier)
+                        breakdown.remote_bytes += record.length
+                        breakdown.remote_ranks.add(req.rank)
+                        remote_bytes_by_source[rkey] = (
+                            remote_bytes_by_source.get(rkey, 0.0)
+                            + record.length)
+                elif record.tier is StorageTier.SHARED_BB:
+                    breakdown.bb_bytes += record.length
+                    breakdown.bb_ranks.add(req.rank)
+                else:
+                    breakdown.pfs_bytes += record.length
+                    breakdown.pfs_ranks.add(req.rank)
+            extents.sort(key=lambda e: e.offset)
+            results[req.rank] = extents
+
+        yield from self._execute_flows(session, comm, breakdown,
+                                       local_bytes_by_node,
+                                       remote_bytes_by_source, program,
+                                       location_aware)
+        return results, breakdown
+
+    # -- timing ------------------------------------------------------------
+    def _execute_flows(self, session, comm: Communicator,
+                       breakdown: ReadBreakdown,
+                       local_bytes_by_node: Dict[int, float],
+                       remote_bytes_by_source: Dict[int, float],
+                       program: str, location_aware: bool) -> Generator:
+        machine = self.machine
+        net = machine.network
+        sched = self.system.scheduler
+        flows = []
+
+        # Metadata look-ups: the busiest KV server serialises its queue.
+        if breakdown.lookups_per_server:
+            busiest = max(breakdown.lookups_per_server.values())
+            cost = net.rpc_cost(busiest, serialized=True)
+            if not location_aware:
+                # Indirection through the co-located server doubles hops.
+                cost *= 2.0
+            flows.append(self.engine.timeout(cost))
+
+        # Local node-storage reads.  Scheduling efficiency is pooled
+        # across nodes (CFS migration averages placements out over a
+        # collective; see the same choice in the write path).
+        pooled_eff = 1.0
+        if local_bytes_by_node:
+            effs = [sched.client_efficiency(machine.nodes[nid], program,
+                                            "read")
+                    for nid, _tier in local_bytes_by_node]
+            pooled_eff = sum(effs) / len(effs)
+        for (node_id, tier), nbytes in local_bytes_by_node.items():
+            node = machine.nodes[node_id]
+            ranks_here = breakdown.local_ranks_by_node.get((node_id, tier),
+                                                           0)
+            if ranks_here == 0:
+                continue
+            eff = pooled_eff
+            if not location_aware:
+                eff *= _SERVER_COPY_FACTOR
+            device = self.system.tier_device(tier, node)
+            if tier.value == "dram":
+                # The client cache path bounds the node rate; the device's
+                # read_factor (reads skip append bookkeeping) scales this
+                # cap inside StorageDevice.read.
+                cap = node.spec.dram_cache_bandwidth / ranks_here
+            else:
+                cap = device.pipe.bandwidth / ranks_here
+            flows.append(device.read(nbytes / ranks_here,
+                                     streams=ranks_here,
+                                     per_stream_cap=cap,
+                                     efficiency=eff,
+                                     tag=f"read-local-{tier.value}"))
+
+        # Remote node-storage reads: remote device + backbone transfer.
+        if breakdown.remote_bytes > 0:
+            streams = max(1, len(breakdown.remote_ranks))
+            per_stream = breakdown.remote_bytes / streams
+            for (node_id, tier), nbytes in remote_bytes_by_source.items():
+                node = machine.nodes[node_id]
+                device = self.system.tier_device(tier, node)
+                src_streams = max(1, round(
+                    streams * nbytes / breakdown.remote_bytes))
+                flows.append(device.read(nbytes / src_streams,
+                                         streams=src_streams,
+                                         tag="read-remote-src"))
+            flows.append(net.transfer(per_stream, streams=streams,
+                                      streams_per_node=comm.procs_per_node,
+                                      tag="read-remote-net"))
+
+        # Shared burst-buffer reads.
+        if breakdown.bb_bytes > 0:
+            bb = machine.burst_buffer
+            assert bb is not None
+            streams = max(1, len(breakdown.bb_ranks))
+            per_stream = breakdown.bb_bytes / streams
+            cap = bb.client_read_cap(comm.procs_per_node)
+            bb_eff = 1.0 if location_aware else _SERVER_COPY_FACTOR
+            flows.append(bb.read(per_stream, streams=streams,
+                                 per_stream_cap=cap, efficiency=bb_eff,
+                                 tag="read-bb"))
+            if not location_aware:
+                # Server-mediated fetch: the payload additionally crosses
+                # the network twice (BB -> server -> client); the server
+                # copy also throttles the BB stream itself (bb_eff above).
+                flows.append(net.transfer(
+                    per_stream, streams=streams,
+                    streams_per_node=comm.procs_per_node,
+                    tag="read-bb-forward"))
+
+        # PFS reads (spilled DHP logs are file-per-process: no N-to-1
+        # penalty, but each stream only engages a couple of OSTs).
+        if breakdown.pfs_bytes > 0:
+            lustre = machine.lustre
+            streams = max(1, len(breakdown.pfs_ranks))
+            per_stream_bytes = breakdown.pfs_bytes / streams
+            cap = min(2 * lustre.spec.ost_bandwidth,
+                      lustre.spec.client_node_bandwidth * 2
+                      / comm.procs_per_node)
+            flows.append(lustre.device.read(
+                per_stream_bytes, streams=streams, per_stream_cap=cap,
+                efficiency=lustre.spec.fpp_efficiency(streams),
+                tag="read-pfs"))
+
+        if flows:
+            yield self.engine.all_of(flows)

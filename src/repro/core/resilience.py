@@ -1,0 +1,142 @@
+"""Resilience for data in volatile storage layers (§V future work).
+
+The paper's conclusions name "adding resilience to data in volatile
+storage layers" as planned work: data cached in node-local DRAM vanishes
+with the node, and until the asynchronous flush lands on the PFS a node
+failure loses the only copy.
+
+This extension closes the window with **asynchronous replication**: when a
+written file closes, the servers copy every *volatile* (node-local)
+segment to replica logs on a shared, failure-independent tier (the shared
+burst buffer by default) — piggybacking on the same close-triggered
+asynchrony as the flush.  The read path falls back transparently: a
+metadata record pointing at a failed node's log resolves against the
+replica instead.  Without replication, reading lost data raises
+:class:`DataLossError` — exactly the exposure the paper describes.
+
+Enable with ``UniviStorConfig(resilience_enabled=True)``; inject failures
+with :meth:`UniviStorServers.fail_node`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.core.config import StorageTier
+from repro.core.metadata import MetadataRecord
+from repro.sim.engine import Event
+from repro.storage.datamodel import Extent
+from repro.storage.posix import SimFile
+
+__all__ = ["DataLossError", "ResilienceService"]
+
+
+class DataLossError(RuntimeError):
+    """A read touched data whose only copy died with its node."""
+
+
+class ResilienceService:
+    """Asynchronous replication of volatile segments to a shared tier."""
+
+    def __init__(self, system):
+        # ``system`` is a UniviStorServers (loose typing: import cycle).
+        self.system = system
+        self.machine = system.machine
+        self.engine = system.engine
+        self.replica_tier = StorageTier.SHARED_BB
+        #: session path -> rank -> replica file (logical-offset content).
+        self._replicas: Dict[str, Dict[int, SimFile]] = {}
+        #: bytes already replicated per session (incremental replication).
+        self._replicated: Dict[str, float] = {}
+        #: outstanding replication event per session.
+        self._events: Dict[str, Event] = {}
+
+    # -- replica plumbing ---------------------------------------------------
+    def replica_file(self, session, rank: int) -> SimFile:
+        per_session = self._replicas.setdefault(session.path, {})
+        f = per_session.get(rank)
+        if f is None:
+            store = self.system.tier_store(self.replica_tier, None)
+            f = store.create(
+                f"/univistor/replica/{session.fid}/{rank}.log")
+            per_session[rank] = f
+        return f
+
+    def _volatile_records(self, session) -> List[MetadataRecord]:
+        return [r for r in self.system.metadata.records_of(session.fid)
+                if r.tier.is_node_local]
+
+    def pending_bytes(self, session) -> float:
+        # Cumulative volatile writes (overwrites count again) minus what
+        # is already replicated — mirrors the flush accounting.
+        return max(0.0, session.volatile_bytes_written
+                   - self._replicated.get(session.path, 0.0))
+
+    # -- the asynchronous replication pass -------------------------------------
+    def start_replication(self, session) -> Event:
+        """Kick off (or no-op) replication; returns its completion event."""
+        pending = self.pending_bytes(session)
+        if pending <= 0:
+            ev = self.engine.event(name="replicate-noop")
+            ev.succeed(0.0)
+            self._events[session.path] = ev
+            return ev
+        proc = self.engine.process(self._replicate(session, pending),
+                                   name=f"replicate:{session.path}")
+        self._events[session.path] = proc
+        return proc
+
+    def wait(self, session) -> Generator:
+        ev = self._events.get(session.path)
+        if ev is not None and not ev.processed:
+            yield ev
+
+    def _replicate(self, session, pending: float) -> Generator:
+        t_start = self.engine.now
+        system = self.system
+        bb = self.machine.burst_buffer
+        if bb is None:
+            raise RuntimeError("resilience needs a shared burst buffer")
+        servers = system.total_servers
+        # Functional copy: replica files hold logical-offset extents, so
+        # fail-over reads need no VA translation.
+        read_service = system.read_service
+        for record in self._volatile_records(session):
+            replica = self.replica_file(session, record.proc_id)
+            for extent in read_service.resolve(session, record):
+                replica.write_at(extent.offset, extent.length,
+                                 extent.payload, extent.payload_offset)
+        # Timed copy: the servers drain the volatile tiers into the BB
+        # (file-per-process replica logs: no shared-file penalty).
+        yield bb.write(pending / servers, streams=servers,
+                       per_stream_cap=bb.flush_cap(
+                           system.config.servers_per_node),
+                       tag=f"replicate:{session.path}")
+        self._replicated[session.path] = (
+            self._replicated.get(session.path, 0.0) + pending)
+        self.system.telemetry_hook("replicate", session.path, pending,
+                                   t_start=t_start)
+        return pending
+
+    # -- fail-over read path -------------------------------------------------
+    def is_lost(self, record: MetadataRecord) -> bool:
+        return (record.tier.is_node_local
+                and record.node_id in self.system.failed_nodes)
+
+    def resolve_replica(self, session, record: MetadataRecord
+                        ) -> List[Extent]:
+        """Replica extents for a lost record; raises on a gap."""
+        per_session = self._replicas.get(session.path, {})
+        replica = per_session.get(record.proc_id)
+        if replica is None:
+            raise DataLossError(
+                f"{session.path}: rank {record.proc_id}'s data on failed "
+                f"node {record.node_id} was never replicated")
+        extents = replica.read_at(record.offset, record.length)
+        for ext in extents:
+            from repro.storage.datamodel import ZeroPayload
+            if isinstance(ext.payload, ZeroPayload):
+                raise DataLossError(
+                    f"{session.path}: replica of rank {record.proc_id} "
+                    f"misses [{ext.offset}, +{ext.length})")
+        return extents

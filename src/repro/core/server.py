@@ -1,0 +1,263 @@
+"""The UniviStor server program (§II-A).
+
+UniviStor servers run as a separate parallel program on every compute node
+of the job (``servers_per_node`` each, default 2 to exploit both NUMA
+sockets, §III-A).  They collectively provide:
+
+* the **data caching service** — per-(file, rank) DHP logs on the
+  configured tiers (:class:`FileSession`),
+* the **distributed metadata service** (:class:`repro.core.metadata`),
+* the **server-side flush service** (:mod:`repro.core.flush`),
+* **connection management** — clients attach in ``MPI_Init`` and detach in
+  ``MPI_Finalize``,
+* the **workflow lock service** (§II-E) and the **interference-aware
+  scheduler** (§II-C).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.node import ComputeNode
+from repro.cluster.topology import Machine
+from repro.core.config import StorageTier, UniviStorConfig
+from repro.core.dhp import DHPWriter, LogFile
+from repro.core.metadata import MetadataService
+from repro.core.scheduler import SchedulerService
+from repro.core.va import VirtualAddressSpace
+from repro.core.workflow import WorkflowManager
+from repro.sim.engine import Engine, Event
+from repro.simmpi.comm import Communicator
+from repro.storage.device import StorageDevice
+from repro.storage.posix import FileStore, SimFile
+
+__all__ = ["FileSession", "UniviStorServers"]
+
+SERVER_PROGRAM = "univistor-server"
+
+
+class FileSession:
+    """Server-side state for one logical shared file."""
+
+    def __init__(self, system: "UniviStorServers", fid: int, path: str):
+        self.system = system
+        self.fid = fid
+        self.path = path
+        #: The communicator that produced the data (set at first write
+        #: open); readers from other applications resolve ProcIDs against
+        #: this communicator's placement — the Fig. 1 data-sharing path.
+        self.writer_comm: Optional[Communicator] = None
+        self.writers: Dict[int, DHPWriter] = {}
+        self.bytes_written = 0.0
+        #: Cumulative bytes written into *cache* tiers (monotonic — an
+        #: overwrite counts again, so a later flush knows there is fresh
+        #: data to push even though live bytes did not grow).
+        self.cached_bytes_written = 0.0
+        #: Same, restricted to volatile (node-local) tiers, for the
+        #: resilience replication pass.
+        self.volatile_bytes_written = 0.0
+        #: Completion event of the most recent server-side flush.
+        self.flush_event: Optional[Event] = None
+        self.flushed_bytes = 0.0
+
+    # -- DHP plumbing ----------------------------------------------------
+    def writer_for(self, comm: Communicator, rank: int) -> DHPWriter:
+        """Get (lazily creating) the DHP writer of ``rank``."""
+        if self.writer_comm is None:
+            self.writer_comm = comm
+        writer = self.writers.get(rank)
+        if writer is None:
+            writer = self.system._make_writer(self, comm, rank)
+            self.writers[rank] = writer
+        return writer
+
+    def cached_bytes_per_tier(self) -> Dict[StorageTier, float]:
+        """Live bytes per tier across all ranks' logs."""
+        out: Dict[StorageTier, float] = {}
+        for writer in self.writers.values():
+            for log in writer.logs:
+                out[log.tier] = out.get(log.tier, 0.0) + log.bytes_live
+        return out
+
+    def node_of_proc(self, proc_id: int) -> ComputeNode:
+        if self.writer_comm is None:
+            raise RuntimeError(f"{self.path}: no writer has opened this file")
+        return self.writer_comm.node_of_rank(proc_id)
+
+
+class UniviStorServers:
+    """The deployed server program plus its collective services."""
+
+    def __init__(self, machine: Machine, config: UniviStorConfig):
+        self.machine = machine
+        self.engine: Engine = machine.engine
+        self.config = config
+        self.program = SERVER_PROGRAM
+        for tier in config.cache_tiers:
+            self._check_tier_available(tier)
+        machine.register_program(self.program,
+                                 len(machine.nodes) * config.servers_per_node,
+                                 kind="server",
+                                 procs_per_node=config.servers_per_node)
+        self.total_servers = len(machine.nodes) * config.servers_per_node
+        self.metadata = MetadataService(self.total_servers,
+                                        config.metadata_range_size)
+        self.scheduler = SchedulerService(machine, config, self.program)
+        self.workflow = WorkflowManager(self.engine)
+        self._sessions: Dict[str, FileSession] = {}
+        self._fids: Dict[str, int] = {}
+        self.connected_clients: Dict[str, int] = {}
+        #: Nodes whose local storage has been lost (resilience testing).
+        self.failed_nodes: set = set()
+        #: Telemetry sink, attached by the Simulation facade.
+        self.telemetry = None
+        # Collective services (imported here to avoid module cycles).
+        from repro.core.advisor import PlacementAdvisor
+        from repro.core.flush import FlushService
+        from repro.core.read_service import ReadService
+        from repro.core.resilience import ResilienceService
+        self.read_service = ReadService(self)
+        self.flush_service = FlushService(self)
+        self.resilience = ResilienceService(self)
+        self.advisor = PlacementAdvisor()
+        if config.resilience_enabled:
+            self._check_tier_available(StorageTier.SHARED_BB)
+
+    def telemetry_hook(self, op: str, path: str, nbytes: float,
+                       t_start: Optional[float] = None) -> None:
+        """Record a server-side operation if a telemetry sink is attached."""
+        if self.telemetry is not None:
+            self.telemetry.record(app="univistor-server", op=op, path=path,
+                                  t_start=self.engine.now if t_start is None
+                                  else t_start,
+                                  nbytes=nbytes, driver="univistor")
+
+    def fail_node(self, node_id: int) -> None:
+        """Lose a compute node: its local cached data is gone.
+
+        Reads of segments that lived there either fall back to replicas
+        (``resilience_enabled``) or raise
+        :class:`~repro.core.resilience.DataLossError`.
+        """
+        if not 0 <= node_id < len(self.machine.nodes):
+            raise ValueError(f"no node {node_id}")
+        self.failed_nodes.add(node_id)
+
+    # -- tier plumbing -----------------------------------------------------
+    def _check_tier_available(self, tier: StorageTier) -> None:
+        if tier is StorageTier.SHARED_BB and self.machine.burst_buffer is None:
+            raise ValueError("configuration uses the shared burst buffer "
+                             "but the machine has none")
+        if (tier is StorageTier.LOCAL_SSD
+                and self.machine.nodes[0].local_ssd is None):
+            raise ValueError("configuration uses node-local SSDs but the "
+                             "machine has none")
+
+    def tier_device(self, tier: StorageTier,
+                    node: Optional[ComputeNode]) -> StorageDevice:
+        if tier is StorageTier.DRAM:
+            assert node is not None
+            return node.dram
+        if tier is StorageTier.LOCAL_SSD:
+            assert node is not None and node.local_ssd is not None
+            return node.local_ssd
+        if tier is StorageTier.SHARED_BB:
+            assert self.machine.burst_buffer is not None
+            return self.machine.burst_buffer.device
+        return self.machine.lustre.device
+
+    def tier_store(self, tier: StorageTier,
+                   node: Optional[ComputeNode]) -> FileStore:
+        if tier.is_node_local:
+            assert node is not None
+            return node.files
+        if tier is StorageTier.SHARED_BB:
+            return self.machine.bb_files
+        return self.machine.pfs_files
+
+    # -- connection management (§II-A) ---------------------------------------
+    def connect(self, comm: Communicator) -> Event:
+        """Client attach, piggybacked on MPI_Init: one RPC per rank to its
+        co-located server (parallel, so one round trip)."""
+        self.connected_clients[comm.name] = comm.size
+        return self.machine.network.rpc(1, serialized=False)
+
+    def disconnect(self, comm: Communicator) -> Event:
+        self.connected_clients.pop(comm.name, None)
+        return self.machine.network.rpc(1, serialized=False)
+
+    # -- sessions ------------------------------------------------------------
+    def fid_of(self, path: str) -> int:
+        fid = self._fids.get(path)
+        if fid is None:
+            fid = self.engine.next_id()
+            self._fids[path] = fid
+        return fid
+
+    def session(self, path: str, create: bool = True) -> FileSession:
+        sess = self._sessions.get(path)
+        if sess is None:
+            if not create:
+                raise FileNotFoundError(path)
+            sess = FileSession(self, self.fid_of(path), path)
+            self._sessions[path] = sess
+        return sess
+
+    def has_session(self, path: str) -> bool:
+        return path in self._sessions
+
+    # -- log construction (the c/p rule of §II-B1) -----------------------------
+    def _log_capacity(self, tier: StorageTier, node: ComputeNode,
+                      comm: Communicator) -> float:
+        """``c/p``: available capacity over the processes sharing it."""
+        if tier.is_node_local:
+            device = self.tier_device(tier, node)
+            p = max(1, comm.procs_on_node(node.node_id))
+            cap = device.capacity / p
+        else:
+            device = self.tier_device(tier, None)
+            cap = device.capacity / max(1, comm.size)
+        # A log smaller than one chunk is useless; round up.
+        return max(cap, self.config.chunk_size)
+
+    def _make_writer(self, session: FileSession, comm: Communicator,
+                     rank: int) -> DHPWriter:
+        node = comm.node_of_rank(rank)
+        cache_tiers = self.config.cache_tiers
+        if self.config.adaptive_placement:
+            cache_tiers = self.advisor.advise_tiers(session.path,
+                                                    cache_tiers)
+        tiers: List[StorageTier] = list(cache_tiers)
+        tiers.append(StorageTier.PFS)
+        capacities: List[float] = []
+        logs: List[LogFile] = []
+        for tier in tiers:
+            if tier is StorageTier.PFS:
+                capacity: float = math.inf
+            else:
+                capacity = self._log_capacity(tier, node, comm)
+            tier_node = node if tier.is_node_local else None
+            store = self.tier_store(tier, tier_node)
+            sim_file = store.create(
+                f"/univistor/{session.fid}/{rank}/{tier.value}.log")
+            device = (None if tier is StorageTier.PFS
+                      else self.tier_device(tier, tier_node))
+            logs.append(LogFile(tier, capacity, self.config.chunk_size,
+                                sim_file, device=device))
+            capacities.append(capacity)
+        vas = VirtualAddressSpace(tiers, capacities)
+        return DHPWriter(rank, vas, logs)
+
+    # -- teardown ------------------------------------------------------------
+    def delete_file(self, path: str) -> None:
+        """Drop a file: free every log chunk and all metadata."""
+        sess = self._sessions.pop(path, None)
+        if sess is None:
+            return
+        self.metadata.delete_file(sess.fid)
+        for rank, writer in sess.writers.items():
+            for log in writer.logs:
+                if log.device is not None and log.allocated_chunks:
+                    log.device.free(log.allocated_chunks * log.chunk_size)
+                log.sim_file.store.unlink(log.sim_file.path)

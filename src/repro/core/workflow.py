@@ -1,0 +1,154 @@
+"""Lightweight workflow management (§II-E).
+
+Coordinates applications with data dependencies through per-file
+reader/writer/flush states kept in a shared **state file** (on the PFS in
+the real system).  Lock acquire/release piggybacks on the collective
+``MPI_File_open`` / ``MPI_File_close``: only the root process touches the
+state file, so coordination costs one RPC, not an all-to-all.
+
+State machine (per file)::
+
+    IDLE -> WRITING -> WRITE_DONE -> READING -> READ_DONE -> ...
+                   \\-> FLUSHING -> FLUSH_DONE (server-side, overlaps reads)
+
+Rules enforced (the paper's conflict table):
+
+* a writer waits while the file is WRITING, READING or FLUSHING;
+* a reader waits while the file is WRITING (flushes do not block reads —
+  the cached copy stays valid);
+* concurrent readers are admitted together.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List
+
+from repro.sim.engine import Engine, Event
+
+__all__ = ["FileState", "WorkflowManager"]
+
+
+class FileState(enum.Enum):
+    """The observable state recorded in the shared state file."""
+
+    IDLE = "idle"
+    WRITING = "writing"
+    WRITE_DONE = "write_done"
+    READING = "reading"
+    READ_DONE = "read_done"
+    FLUSHING = "flushing"
+    FLUSH_DONE = "flush_done"
+
+
+@dataclass
+class _Entry:
+    state: FileState = FileState.IDLE
+    writer_active: bool = False
+    readers: int = 0
+    flushers: int = 0
+    waiters: List[Event] = field(default_factory=list)
+    #: Audit trail of state transitions (state, sim time) for tests.
+    history: List = field(default_factory=list)
+
+
+class WorkflowManager:
+    """The state-file lock service, one per UniviStor deployment."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._entries: Dict[str, _Entry] = {}
+
+    def _entry(self, path: str) -> _Entry:
+        entry = self._entries.get(path)
+        if entry is None:
+            entry = _Entry()
+            self._entries[path] = entry
+        return entry
+
+    def state_of(self, path: str) -> FileState:
+        return self._entry(path).state
+
+    def history_of(self, path: str) -> List:
+        return list(self._entry(path).history)
+
+    def _set_state(self, entry: _Entry, state: FileState) -> None:
+        entry.state = state
+        entry.history.append((state, self.engine.now))
+
+    def _wake_all(self, entry: _Entry) -> None:
+        waiters, entry.waiters = entry.waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def _wait(self, entry: _Entry) -> Event:
+        ev = self.engine.event(name="workflow-wait")
+        entry.waiters.append(ev)
+        return ev
+
+    # -- writers -----------------------------------------------------------
+    def acquire_write(self, path: str) -> Generator:
+        """Block until the file accepts a writer, then mark WRITING."""
+        entry = self._entry(path)
+        while entry.writer_active or entry.readers > 0 or entry.flushers > 0:
+            yield self._wait(entry)
+        entry.writer_active = True
+        self._set_state(entry, FileState.WRITING)
+
+    def release_write(self, path: str) -> None:
+        entry = self._entry(path)
+        if not entry.writer_active:
+            raise RuntimeError(f"{path}: write release without acquire")
+        entry.writer_active = False
+        self._set_state(entry, FileState.WRITE_DONE)
+        self._wake_all(entry)
+
+    # -- readers -----------------------------------------------------------
+    def acquire_read(self, path: str) -> Generator:
+        """Block until the file has no active writer, then mark READING."""
+        entry = self._entry(path)
+        while entry.writer_active:
+            yield self._wait(entry)
+        entry.readers += 1
+        self._set_state(entry, FileState.READING)
+
+    def release_read(self, path: str) -> None:
+        entry = self._entry(path)
+        if entry.readers <= 0:
+            raise RuntimeError(f"{path}: read release without acquire")
+        entry.readers -= 1
+        if entry.readers == 0:
+            self._set_state(entry, FileState.READ_DONE)
+            self._wake_all(entry)
+
+    # -- server-side flush ---------------------------------------------------
+    def begin_flush(self, path: str) -> None:
+        """Mark FLUSHING (blocks new writers; readers are unaffected).
+
+        The flush is started by the servers right after a writer's close,
+        so there is never an active writer here by construction.
+        """
+        entry = self._entry(path)
+        if entry.writer_active:
+            raise RuntimeError(f"{path}: flush while writer active")
+        entry.flushers += 1
+        self._set_state(entry, FileState.FLUSHING)
+
+    def end_flush(self, path: str) -> None:
+        entry = self._entry(path)
+        if entry.flushers <= 0:
+            raise RuntimeError(f"{path}: flush end without begin")
+        entry.flushers -= 1
+        if entry.flushers == 0:
+            self._set_state(entry, FileState.FLUSH_DONE)
+            self._wake_all(entry)
+
+    # -- invariants (for tests) ----------------------------------------------
+    def check_invariants(self) -> None:
+        for path, entry in self._entries.items():
+            assert not (entry.writer_active and entry.readers > 0), \
+                f"{path}: reader and writer concurrently active"
+            assert not (entry.writer_active and entry.flushers > 0), \
+                f"{path}: writer active during flush"
+            assert entry.readers >= 0 and entry.flushers >= 0

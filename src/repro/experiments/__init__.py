@@ -1,0 +1,31 @@
+"""Experiment runners: one module per figure of the evaluation (§III).
+
+Every runner returns a :class:`repro.analysis.report.Table` whose rows are
+process counts and whose columns are the figure's series, so the benchmark
+harness can print the same rows the paper plots and assert the ratio bands
+DESIGN.md records.
+"""
+
+from repro.experiments.common import PAPER_SWEEP, SMALL_SWEEP, build_simulation
+from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
+from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+
+__all__ = [
+    "PAPER_SWEEP",
+    "SMALL_SWEEP",
+    "build_simulation",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig5c",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig6c",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+]

@@ -1,0 +1,144 @@
+"""Run every figure's experiment and emit the EXPERIMENTS.md evidence.
+
+Usage::
+
+    python -m repro.experiments.runall [--sweep paper|small|64,256] \
+                                       [--out results/]
+
+Writes one JSON file per figure (raw tables) plus ``summary.md`` with the
+paper-vs-measured ratio bands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.analysis.report import Table, fmt_markdown_table
+from repro.experiments import (
+    run_fig5a, run_fig5b, run_fig5c,
+    run_fig6a, run_fig6b, run_fig6c,
+    run_fig7, run_fig8, run_fig9, run_fig10,
+)
+
+#: (figure id, runner, [(numerator, denominator, invert, paper band)]).
+#: ``invert`` marks time-valued tables where the paper's "speedup" is
+#: slower-series / faster-series.
+FIGURES = [
+    ("fig5a", run_fig5a, [
+        ("IA+COC", "No-IA", False, "1.45-2.5x (avg 1.9x)"),
+        ("IA+COC", "No-COC", False, "1.1-3.5x (avg 1.6x)")]),
+    ("fig5b", run_fig5b, [
+        ("IA+COC", "No-IA", False, "1.13-1.5x (avg 1.25x)"),
+        ("IA+COC", "No-COC", False, "1.15-1.8x (avg 1.3x)")]),
+    ("fig5c", run_fig5c, [
+        ("IA+ADPT", "Disabled", False, "1.9-2.7x (avg 2.3x)")]),
+    ("fig6a", run_fig6a, [
+        ("UniviStor/DRAM", "DE", False, "3.7-5.6x (avg 4.3x)"),
+        ("UniviStor/BB", "DE", False, "1.2-1.7x (avg 1.3x)"),
+        ("UniviStor/DRAM", "Lustre", False, "up to 46x"),
+        ("UniviStor/BB", "Lustre", False, "up to 12x")]),
+    ("fig6b", run_fig6b, [
+        ("UniviStor/DRAM", "DE", False, "2.7-4.5x (avg 3.6x)"),
+        ("UniviStor/BB", "DE", False, "1.15-1.6x (avg 1.2x)"),
+        ("UniviStor/DRAM", "Lustre", False, "up to 16.8x"),
+        ("UniviStor/BB", "Lustre", False, "up to 5.4x")]),
+    ("fig6c", run_fig6c, [
+        ("UniviStor/DRAM", "DE", False, "1.8-2.5x (avg 2x)"),
+        ("UniviStor/BB", "DE", False, "1.6-2.5x (avg 1.8x)")]),
+    ("fig7", run_fig7, [
+        ("DE", "UniviStor/DRAM", True, "1.9-3.1x (avg 2.5x)"),
+        ("DE", "UniviStor/BB", True, "1.1-1.6x (avg 1.3x)")]),
+    ("fig8", run_fig8, [
+        ("UniviStor/(BB+Disk)", "UniviStor/(DRAM+BB+Disk)", True,
+         "1.2-1.6x (avg 1.4x)"),
+        ("UniviStor/(Disk)", "UniviStor/(DRAM+BB+Disk)", True,
+         "1.4-2x (avg 1.7x)")]),
+    ("fig9", run_fig9, [
+        ("UniviStor/DRAM Nonoverlap", "UniviStor/DRAM Overlap", True,
+         "1.2-1.7x (avg 1.3x)"),
+        ("UniviStor/BB Nonoverlap", "UniviStor/BB Overlap", True,
+         "1.5-2x (avg 1.7x)"),
+        ("DE", "UniviStor/DRAM Nonoverlap", True, "3.5-17x (avg 9x)"),
+        ("DE", "UniviStor/BB Nonoverlap", True, "1.3-7.2x (avg 3.4x)")]),
+    ("fig10", run_fig10, [
+        ("UniviStor/(BB)", "UniviStor/(DRAM+BB)", True,
+         "1.5-2x (avg 1.8x)"),
+        ("UniviStor/(Disk)", "UniviStor/(DRAM+BB)", True,
+         "4-4.8x (avg 4.3x)")]),
+]
+
+
+def band(table: Table, num: str, den: str):
+    ratios = list(table.ratio(num, den).values())
+    if not ratios:
+        return None
+    return (min(ratios), sum(ratios) / len(ratios), max(ratios))
+
+
+def table_to_json(table: Table) -> dict:
+    return {
+        "title": table.title,
+        "xlabel": table.xlabel,
+        "ylabel": table.ylabel,
+        "series": table.series,
+        "rows": {str(x): table.rows[x] for x in table.xs()},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sweep", default=None,
+                        help="paper | small | comma list (default: "
+                             "REPRO_SWEEP or small)")
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--only", default=None,
+                        help="comma list of figure ids to run")
+    args = parser.parse_args(argv)
+    if args.sweep:
+        os.environ["REPRO_SWEEP"] = args.sweep
+    only = set(args.only.split(",")) if args.only else None
+    os.makedirs(args.out, exist_ok=True)
+
+    summary = ["# Paper-vs-measured summary",
+               "",
+               f"sweep: `{os.environ.get('REPRO_SWEEP', 'small')}`", ""]
+    for fig_id, runner, checks in FIGURES:
+        if only and fig_id not in only:
+            continue
+        t0 = time.time()
+        table = runner()
+        wall = time.time() - t0
+        with open(os.path.join(args.out, f"{fig_id}.json"), "w") as fh:
+            json.dump(table_to_json(table), fh, indent=1)
+        print(f"== {fig_id} ({wall:.0f}s wall)", flush=True)
+        print(fmt_markdown_table(table, "{:.4g}"))
+        summary.append(f"## {fig_id} — {table.title}")
+        summary.append("")
+        summary.append("| ratio | paper | measured min..max (mean) |")
+        summary.append("|---|---|---|")
+        for num, den, _invert, paper in checks:
+            # For rate tables the numerator is the faster series; for time
+            # tables it is the slower one — either way ratio(num, den) is
+            # the paper's quoted speedup.
+            b = band(table, num, den)
+            if b is None:
+                row = f"| {num} vs {den} | {paper} | (missing) |"
+            else:
+                lo, mean, hi = b
+                row = (f"| {num} vs {den} | {paper} | "
+                       f"{lo:.2f}..{hi:.2f} (mean {mean:.2f}) |")
+            summary.append(row)
+            print(row, flush=True)
+        summary.append("")
+    with open(os.path.join(args.out, "summary.md"), "w") as fh:
+        fh.write("\n".join(summary) + "\n")
+    print(f"\nwrote {args.out}/summary.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Discrete-event simulation kernel.
+
+This subpackage provides the event engine that the whole UniviStor
+reproduction runs on.  It is a small, deterministic, SimPy-like kernel:
+
+* :class:`~repro.sim.engine.Engine` — the event loop with simulated time.
+* :class:`~repro.sim.engine.Process` — cooperative processes written as
+  Python generators that ``yield`` events.
+* :class:`~repro.sim.resources.Resource` — a FIFO resource with finite
+  capacity (used for mutexes, server slots, ...).
+* :class:`~repro.sim.resources.BandwidthResource` — a fair-shared pipe with
+  optional per-flow caps and contention models (used for storage devices,
+  network links and NUMA memory channels).
+
+The kernel is deliberately minimal but fully deterministic: ties in event
+time are broken by a monotonically increasing sequence number, so repeated
+runs with the same inputs produce bit-identical schedules.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import (
+    BandwidthResource,
+    Flow,
+    Resource,
+    Store,
+)
+from repro.sim.rng import StreamRNG
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthResource",
+    "Engine",
+    "Event",
+    "Flow",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "StreamRNG",
+    "Timeout",
+]

@@ -1,0 +1,417 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine follows the classic process-interaction style popularised by
+SimPy: simulation *processes* are Python generators that ``yield`` event
+objects; the engine resumes a process when the event it is waiting for
+triggers.  Simulated time only advances between events — the Python code
+inside a process runs in zero simulated time.
+
+Determinism guarantees
+----------------------
+Events scheduled for the same simulated time fire in the order they were
+scheduled (FIFO, enforced by a sequence counter used as a heap tie-breaker).
+Nothing in the kernel consults wall-clock time or global random state, so a
+simulation is a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Engine",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double-trigger, running without events, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "not triggered" from "triggered with value None".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; it may be :meth:`succeed`-ed (with a value) or
+    :meth:`fail`-ed (with an exception) exactly once.  Processes waiting on
+    the event are resumed in FIFO order when it triggers.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self.name = name
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire (or has fired)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.engine._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, re-raised in each waiter."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.engine._schedule(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of simulated time after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None,
+                 name: str = ""):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine, name=name)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        engine._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", process: "Process"):
+        super().__init__(engine)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        engine._schedule(self)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process object is itself an event that triggers when the generator
+    returns (value = the generator's return value) or raises (failure).
+    Other processes may therefore ``yield`` a process to join it.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, engine: "Engine", generator: Generator,
+                 name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(engine, name=name or getattr(generator, "__name__", ""))
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(engine, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current sim time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self._target is None:
+            raise SimulationError("cannot interrupt a process being initialised")
+        # Detach from whatever the process is waiting on, then resume it
+        # with the interrupt on the next event boundary.
+        event = Event(self.engine)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume)
+        if self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self.engine._schedule(event)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.engine._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    exc = event._value
+                    if isinstance(exc, Interrupt):
+                        next_event = self._generator.throw(exc)
+                    else:
+                        next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._target = None
+                self.engine._active_process = None
+                super().succeed(stop.value)
+                return
+            except BaseException as err:
+                self._target = None
+                self.engine._active_process = None
+                if self.engine.strict and self.callbacks:
+                    # Someone is joining this process: deliver the failure
+                    # to them instead of crashing the whole simulation.
+                    super().fail(err)
+                    return
+                if self.engine.strict:
+                    super().fail(err)
+                    self.engine._record_crash(self, err)
+                    return
+                raise
+
+            if not isinstance(next_event, Event):
+                self.engine._active_process = None
+                raise SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+            if next_event.engine is not self.engine:
+                self.engine._active_process = None
+                raise SimulationError("yielded an event from a different engine")
+
+            if next_event.callbacks is None:
+                # Already processed: continue immediately with its outcome.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            self.engine._active_process = None
+            return
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self.events = list(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.engine is not self.engine:
+                raise SimulationError("condition mixes events from different engines")
+        if not self.events:
+            self._ok = True
+            self._value = []
+            engine._schedule(self)
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._on_event(ev)
+            else:
+                ev.callbacks.append(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when *all* component events have triggered.
+
+    Value is the list of component values in the original order.  Fails as
+    soon as any component fails.
+    """
+
+    __slots__ = ()
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* component event triggers; value = (event, value)."""
+
+    __slots__ = ()
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed((event, event._value))
+
+
+class Engine:
+    """The discrete-event scheduler.
+
+    Parameters
+    ----------
+    strict:
+        When True (default), an uncaught exception inside a process fails the
+        process event (joiners see it) and is re-raised by :meth:`run` if the
+        crash was never observed.  When False the exception propagates
+        immediately.
+    """
+
+    def __init__(self, strict: bool = True):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        self.strict = strict
+        self._crashes: list = []
+        # Monotonic id source usable by layers above (files, segments, ...).
+        self._id_counter = 0
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    def next_id(self) -> int:
+        """Return a fresh engine-unique integer id."""
+        self._id_counter += 1
+        return self._id_counter
+
+    # -- event construction ------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def _record_crash(self, process: Process, err: BaseException) -> None:
+        self._crashes.append((process, err))
+
+    # -- the loop ------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def peek(self) -> float:
+        """Simulated time of the next event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} lies in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                break
+            self.step()
+        else:
+            if until is not None:
+                self._now = until
+        self._raise_unobserved_crash()
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: spawn ``generator``, run to completion, return value."""
+        proc = self.process(generator, name=name)
+        while not proc.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: process {proc.name!r} is blocked and no events remain"
+                )
+            self.step()
+        self._raise_unobserved_crash()
+        if not proc.ok:
+            raise proc._value
+        return proc._value
+
+    def _raise_unobserved_crash(self) -> None:
+        for process, err in self._crashes:
+            # A crash observed by a joiner has processed callbacks and a
+            # non-ok outcome that someone consumed; we cannot reliably know
+            # consumption, so re-raise the first crash always: crashing a
+            # process is a bug in simulation code, not a modelling outcome.
+            self._crashes = []
+            raise err

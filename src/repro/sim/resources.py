@@ -1,0 +1,343 @@
+"""Shared resources for the simulation kernel.
+
+Three resource kinds cover everything the storage models need:
+
+* :class:`Resource` — a counted FIFO resource (mutexes, service slots).
+* :class:`Store` — a FIFO queue of items (message queues between processes).
+* :class:`BandwidthResource` — a max-min fair-shared pipe.  This is the
+  workhorse: every storage device, network link and NUMA memory channel in
+  the machine model is a ``BandwidthResource``.
+
+Flow groups
+-----------
+At 8192 simulated MPI ranks, modelling each rank's transfer as its own flow
+would make re-scheduling quadratic.  Collective I/O in HPC is barrier
+synchronised, so a *flow group* represents ``streams`` identical parallel
+streams moving ``nbytes`` each.  Fair sharing is computed per stream; the
+group completes when its streams do.  Contention and overlap between
+*different* groups (say, an application checkpoint racing a server flush)
+still emerge from the event engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+__all__ = ["Resource", "Store", "Flow", "BandwidthResource"]
+
+_EPS_BYTES = 1e-6
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    ``request()`` returns an event that succeeds once one of ``capacity``
+    slots is free; ``release()`` frees a slot.  Typical use inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: List[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        event = self.engine.event(name=f"request:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            waiter = self._waiters.pop(0)
+            waiter.succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO store of items with blocking ``get``."""
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            getter = self._getters.pop(0)
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = self.engine.event(name=f"get:{self.name}")
+        if self._items:
+            event.succeed(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Flow:
+    """One group of identical parallel streams on a :class:`BandwidthResource`."""
+
+    __slots__ = (
+        "resource", "streams", "nbytes", "remaining", "per_stream_cap",
+        "weight", "tag", "event", "rate", "started_at", "meta",
+        "efficiency",
+    )
+
+    def __init__(self, resource: "BandwidthResource", nbytes: float,
+                 streams: int, per_stream_cap: float, weight: float,
+                 tag: Optional[str], event: Event, meta: Optional[dict],
+                 efficiency: float = 1.0):
+        self.resource = resource
+        self.streams = streams
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)  # per stream
+        self.per_stream_cap = per_stream_cap
+        self.weight = weight
+        self.tag = tag
+        self.event = event
+        self.rate = 0.0  # per-stream goodput, set by recompute
+        self.started_at = resource.engine.now
+        self.meta = meta or {}
+        self.efficiency = efficiency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Flow tag={self.tag!r} streams={self.streams} "
+                f"remaining={self.remaining:.3g}B rate={self.rate:.3g}B/s>")
+
+
+# A contention model maps the live flow list to a per-flow efficiency in
+# (0, 1].  It is consulted on every re-schedule, so it sees concurrency as
+# it actually evolves in simulated time.
+ContentionModel = Callable[["BandwidthResource", List[Flow]], Dict[Flow, float]]
+
+
+class BandwidthResource:
+    """A pipe of fixed aggregate bandwidth shared max-min fairly.
+
+    Parameters
+    ----------
+    bandwidth:
+        Aggregate bytes/second moved by the pipe when fully utilised.
+    latency:
+        Fixed per-transfer startup latency (seconds) charged before the
+        transfer joins the share set.
+    contention_model:
+        Optional hook computing a per-flow *efficiency* factor from the live
+        flow population — this is how Lustre lock contention, shared-file
+        serialisation on the burst buffer, and NUMA interference are
+        expressed.  Efficiency scales a flow's achieved goodput after its
+        fair share is computed; it deliberately models *wasted* device time
+        (the device is busy, the payload moves slower).
+    """
+
+    def __init__(self, engine: Engine, bandwidth: float, latency: float = 0.0,
+                 contention_model: Optional[ContentionModel] = None,
+                 name: str = ""):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.engine = engine
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.contention_model = contention_model
+        self.name = name
+        self._flows: List[Flow] = []
+        self._last_update = engine.now
+        self._wake_version = 0
+        # Cumulative accounting for utilisation reports.
+        self.bytes_moved = 0.0
+        self.busy_time = 0.0
+
+    # -- public API -----------------------------------------------------
+    @property
+    def active_flows(self) -> List[Flow]:
+        return list(self._flows)
+
+    @property
+    def active_streams(self) -> int:
+        return sum(f.streams for f in self._flows)
+
+    def transfer(self, nbytes: float, streams: int = 1,
+                 per_stream_cap: float = math.inf, weight: float = 1.0,
+                 tag: Optional[str] = None, latency: Optional[float] = None,
+                 meta: Optional[dict] = None,
+                 efficiency: float = 1.0) -> Event:
+        """Start a transfer of ``nbytes`` per stream; returns completion event.
+
+        ``efficiency`` is a static per-flow goodput factor in (0, 1] known
+        at submit time (e.g. a scheduling-derived interference factor); it
+        multiplies with any dynamic factor from the contention model.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if streams < 1:
+            raise ValueError(f"streams must be >= 1, got {streams}")
+        if per_stream_cap <= 0:
+            raise ValueError(f"per_stream_cap must be positive")
+        if not (0.0 < efficiency <= 1.0):
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        lat = self.latency if latency is None else latency
+        event = self.engine.event(name=f"xfer:{self.name}:{tag}")
+        flow = Flow(self, nbytes, streams, per_stream_cap, weight, tag, event,
+                    meta, efficiency=efficiency)
+        if nbytes == 0:
+            # Pure-latency operation; never joins the share set.
+            if lat > 0:
+                def _finish(ev, event=event, flow=flow):
+                    event.succeed(flow)
+                self.engine.timeout(lat).callbacks.append(_finish)
+            else:
+                event.succeed(flow)
+            return event
+        if lat > 0:
+            def _admit(ev, flow=flow):
+                self._admit(flow)
+            self.engine.timeout(lat).callbacks.append(_admit)
+        else:
+            self._admit(flow)
+        return event
+
+    def recompute(self) -> None:
+        """Force a re-schedule (call after external contention state changes)."""
+        self._advance()
+        self._reschedule()
+
+    def utilisation(self, since: float = 0.0) -> float:
+        """Fraction of elapsed simulated time the pipe was busy."""
+        elapsed = self.engine.now - since
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+    # -- internals -------------------------------------------------------
+    def _admit(self, flow: Flow) -> None:
+        self._advance()
+        self._flows.append(flow)
+        self._reschedule()
+
+    def _advance(self) -> None:
+        """Account progress from the last update to now at current rates."""
+        now = self.engine.now
+        dt = now - self._last_update
+        if dt > 0 and self._flows:
+            self.busy_time += dt
+            for flow in self._flows:
+                moved = flow.rate * dt
+                flow.remaining = max(0.0, flow.remaining - moved)
+                self.bytes_moved += moved * flow.streams
+        self._last_update = now
+
+    def _rates(self) -> None:
+        """Max-min fair allocation with per-stream caps, then efficiency."""
+        flows = self._flows
+        if not flows:
+            return
+        effs: Dict[Flow, float] = {}
+        if self.contention_model is not None:
+            effs = self.contention_model(self, flows)
+        # Water-filling over weighted streams.
+        remaining_bw = self.bandwidth
+        unallocated = list(flows)
+        shares: Dict[Flow, float] = {}
+        while unallocated:
+            total_weight = sum(f.streams * f.weight for f in unallocated)
+            if total_weight <= 0:  # pragma: no cover - defensive
+                break
+            fair = remaining_bw / total_weight
+            capped = [f for f in unallocated
+                      if f.per_stream_cap < fair * f.weight]
+            if not capped:
+                for f in unallocated:
+                    shares[f] = fair * f.weight
+                break
+            for f in capped:
+                shares[f] = f.per_stream_cap
+                remaining_bw -= f.per_stream_cap * f.streams
+                unallocated.remove(f)
+            remaining_bw = max(0.0, remaining_bw)
+        for f in flows:
+            eff = effs.get(f, 1.0)
+            if not (0.0 < eff <= 1.0):
+                raise SimulationError(
+                    f"contention model returned efficiency {eff} for {f!r}")
+            f.rate = shares.get(f, 0.0) * eff * f.efficiency
+
+    def _min_dt(self) -> float:
+        """Smallest time step representable around the current sim time.
+
+        Guards against float absorption: a horizon smaller than the ULP of
+        ``now`` would schedule a wake-up at exactly ``now`` and livelock.
+        """
+        now = self.engine.now
+        return max(1e-12, abs(now) * 1e-12)
+
+    def _reschedule(self) -> None:
+        """Complete finished flows, recompute rates, arm the next wake-up."""
+        # Complete any flow that has drained — or whose tail would take
+        # less than one representable time step to drain.
+        min_dt = self._min_dt()
+        done = [f for f in self._flows
+                if f.remaining <= _EPS_BYTES
+                or (f.rate > 0 and f.remaining <= f.rate * min_dt)]
+        if done:
+            for f in done:
+                self._flows.remove(f)
+                f.remaining = 0.0
+                f.rate = 0.0
+                f.event.succeed(f)
+        self._rates()
+        self._wake_version += 1
+        if not self._flows:
+            return
+        horizon = math.inf
+        for f in self._flows:
+            if f.rate > 0:
+                horizon = min(horizon, f.remaining / f.rate)
+        if horizon is math.inf:
+            raise SimulationError(
+                f"bandwidth resource {self.name!r} stalled: "
+                f"{len(self._flows)} flows with zero rate")
+        horizon = max(horizon, min_dt)
+        version = self._wake_version
+
+        def _wake(ev, version=version):
+            if version != self._wake_version:
+                return  # stale wake-up; a newer schedule superseded it
+            self._advance()
+            self._reschedule()
+
+        self.engine.timeout(horizon).callbacks.append(_wake)

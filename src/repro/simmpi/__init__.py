@@ -1,0 +1,39 @@
+"""Simulated MPI substrate.
+
+The paper implements UniviStor as an I/O driver inside MPI-IO's
+Abstract-Device Interface (ADIO, §II-F), so the reproduction provides the
+same seams:
+
+* :class:`~repro.simmpi.comm.Communicator` — a parallel application's
+  ranks, their node placement and (timed) small-message collectives.
+* :class:`~repro.simmpi.mpiio.File` — the MPI-IO file API
+  (``open``/``write_at_all``/``read_at_all``/``close``) expressed as
+  simulation generators.
+* :mod:`~repro.simmpi.adio` — the driver registry; UniviStor, Data
+  Elevator and the plain-Lustre baseline all plug in as ADIO drivers, and
+  are selected per job exactly like ``ROMIO_FSTYPE_FORCE`` selects them on
+  a real system.
+"""
+
+from repro.simmpi.comm import Communicator
+from repro.simmpi.datatypes import BYTE, CHAR, DOUBLE, FLOAT, INT, Datatype
+from repro.simmpi.adio import ADIODriver, DriverRegistry, OpenContext
+from repro.simmpi.mpiio import File, IORequest
+from repro.simmpi.p2p import Message, MessageContext
+
+__all__ = [
+    "ADIODriver",
+    "BYTE",
+    "CHAR",
+    "Communicator",
+    "Datatype",
+    "DOUBLE",
+    "DriverRegistry",
+    "FLOAT",
+    "File",
+    "INT",
+    "IORequest",
+    "Message",
+    "MessageContext",
+    "OpenContext",
+]

@@ -1,0 +1,120 @@
+"""ADIO: the abstract-device interface for MPI-IO drivers.
+
+Real ROMIO lets a file-system vendor implement ``ADIOI_xxx_Open/WriteStrided
+/ReadStrided/Close`` and selects the implementation from the file-system
+type (or the ``ROMIO_FSTYPE_FORCE`` override).  The reproduction mirrors
+that seam: an :class:`ADIODriver` implements collective open / write / read
+/ close as simulation generators, and a :class:`DriverRegistry` resolves a
+driver name per file the way the environment flag does (§II-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.simmpi.comm import Communicator
+
+__all__ = ["OpenContext", "ADIODriver", "DriverRegistry"]
+
+
+@dataclass
+class OpenContext:
+    """Everything a driver sees at collective-open time."""
+
+    path: str
+    mode: str  # "r" | "w" | "rw"
+    comm: Communicator
+    hints: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.mode not in ("r", "w", "rw"):
+            raise ValueError(f"invalid open mode {self.mode!r}")
+
+
+class ADIODriver:
+    """Base class for MPI-IO file-system drivers.
+
+    Subclasses implement the five collective operations as generators
+    yielding simulation events.  ``open`` returns an opaque per-file state
+    object that the other operations receive back — exactly ROMIO's
+    ``ADIO_File`` pattern.
+    """
+
+    #: Registry key, e.g. ``"univistor"`` — the ROMIO_FSTYPE_FORCE value.
+    name: str = "abstract"
+
+    def open(self, ctx: OpenContext) -> Generator:
+        """Collective open; returns the driver's per-file state."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def write_at_all(self, state: Any, requests: List) -> Generator:
+        """Collective write of per-rank requests."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def read_at_all(self, state: Any, requests: List) -> Generator:
+        """Collective read; returns {rank: [Extent]} describing the data."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def close(self, state: Any) -> Generator:
+        """Collective close (may trigger asynchronous flushing)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def write_at(self, state: Any, request) -> Generator:
+        """Independent (non-collective) write by a single rank.
+
+        Default: a degenerate one-request collective — correct for every
+        driver here because the collective paths impose no barrier; only
+        the COC metadata optimisation differs, and that is an open/close
+        concern, not a data-path one.
+        """
+        yield from self.write_at_all(state, [request])
+
+    def read_at(self, state: Any, request) -> Generator:
+        """Independent read by a single rank; returns that rank's extents."""
+        results = yield from self.read_at_all(state, [request])
+        return results[request.rank]
+
+    def sync(self, state: Any) -> Generator:
+        """Block until all asynchronous work for this file has completed.
+
+        Base implementation: nothing outstanding.
+        """
+        return
+        yield  # pragma: no cover
+
+
+class DriverRegistry:
+    """Name -> driver instance, one registry per simulated job."""
+
+    def __init__(self):
+        self._drivers: Dict[str, ADIODriver] = {}
+        #: Equivalent of ``ROMIO_FSTYPE_FORCE``: when set, every open
+        #: resolves to this driver regardless of the requested type.
+        self.fstype_force: Optional[str] = None
+
+    def register(self, driver: ADIODriver) -> ADIODriver:
+        if not driver.name or driver.name == "abstract":
+            raise ValueError("driver must define a concrete name")
+        if driver.name in self._drivers:
+            raise ValueError(f"driver {driver.name!r} already registered")
+        self._drivers[driver.name] = driver
+        return driver
+
+    def resolve(self, fstype: Optional[str] = None) -> ADIODriver:
+        name = self.fstype_force or fstype
+        if name is None:
+            raise KeyError("no driver requested and ROMIO_FSTYPE_FORCE unset")
+        try:
+            return self._drivers[name]
+        except KeyError:
+            raise KeyError(
+                f"no ADIO driver named {name!r}; registered: "
+                f"{sorted(self._drivers)}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._drivers)

@@ -1,0 +1,36 @@
+"""Byte-counted MPI datatypes (enough for I/O size arithmetic)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Datatype", "BYTE", "CHAR", "INT", "FLOAT", "DOUBLE"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI datatype reduced to what I/O needs: a name and a size."""
+
+    name: str
+    size: int
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"datatype size must be positive, got {self.size}")
+
+    def extent(self, count: int) -> int:
+        """Bytes occupied by ``count`` elements."""
+        if count < 0:
+            raise ValueError(f"negative count {count}")
+        return self.size * count
+
+    def contiguous(self, count: int) -> "Datatype":
+        """Derived contiguous type of ``count`` elements (MPI_Type_contiguous)."""
+        return Datatype(f"{self.name}[{count}]", self.size * count)
+
+
+BYTE = Datatype("byte", 1)
+CHAR = Datatype("char", 1)
+INT = Datatype("int", 4)
+FLOAT = Datatype("float", 4)
+DOUBLE = Datatype("double", 8)

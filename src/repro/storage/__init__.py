@@ -1,0 +1,42 @@
+"""Storage device and file-system models.
+
+* :mod:`repro.storage.datamodel` — file *contents* as extent maps over
+  symbolic payloads, so multi-TiB simulated datasets remain byte-verifiable
+  without materialising bytes.
+* :mod:`repro.storage.device` — a generic device: capacity ledger + a
+  fair-shared bandwidth pipe.
+* :mod:`repro.storage.lustre` — the parallel file system: OSTs, stripe
+  placement, shared-file extent-lock contention, stripe-sync overhead and
+  load imbalance (everything §II-D's adaptive striping reacts to).
+* :mod:`repro.storage.burstbuffer` — the shared, DataWarp-like burst buffer.
+* :mod:`repro.storage.posix` — a path namespace of simulated files.
+"""
+
+from repro.storage.datamodel import (
+    BytesPayload,
+    Extent,
+    ExtentMap,
+    PatternPayload,
+    Payload,
+    ZeroPayload,
+)
+from repro.storage.device import StorageDevice, CapacityError
+from repro.storage.burstbuffer import SharedBurstBuffer
+from repro.storage.lustre import LustreFS, StripingLayout
+from repro.storage.posix import FileStore, SimFile
+
+__all__ = [
+    "BytesPayload",
+    "CapacityError",
+    "Extent",
+    "ExtentMap",
+    "FileStore",
+    "LustreFS",
+    "PatternPayload",
+    "Payload",
+    "SharedBurstBuffer",
+    "SimFile",
+    "StorageDevice",
+    "StripingLayout",
+    "ZeroPayload",
+]

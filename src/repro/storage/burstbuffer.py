@@ -1,0 +1,78 @@
+"""Shared (DataWarp-like) burst buffer model.
+
+The shared burst buffer sits on dedicated appliance nodes reachable by every
+compute node over the interconnect (§II-A, Fig. 1).  Two behaviours matter
+to the experiments:
+
+* the aggregate pipe is wide (``nodes x per_node_bandwidth``) but a single
+  compute node can only inject so fast — callers pass a per-stream cap from
+  the network model;
+* DataWarp stripes a *shared* file across BB nodes, so N-to-1 writes pay a
+  serialisation penalty (`BurstBufferSpec.shared_file_efficiency`) while
+  file-per-process I/O — UniviStor's DHP layout — does not.  This is the
+  mechanism behind UniviStor/BB beating Data Elevator in Figs. 6–7.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.cluster.spec import BurstBufferSpec
+from repro.sim.engine import Engine, Event
+from repro.storage.device import StorageDevice
+
+__all__ = ["SharedBurstBuffer"]
+
+
+class SharedBurstBuffer:
+    """The shared burst buffer: capacity ledger + aggregate pipe."""
+
+    def __init__(self, engine: Engine, spec: BurstBufferSpec):
+        self.engine = engine
+        self.spec = spec
+        self.device = StorageDevice(
+            engine, "shared-bb", capacity=spec.capacity,
+            bandwidth=spec.aggregate_bandwidth, latency=spec.latency,
+            read_factor=spec.read_factor, duplex=True)
+
+    # -- per-stream ceilings -------------------------------------------------
+    def client_write_cap(self, streams_per_node: int) -> float:
+        """Per-stream cap for client write streams sharing one node."""
+        return self.spec.client_node_write_bandwidth / max(1, streams_per_node)
+
+    def client_read_cap(self, streams_per_node: int) -> float:
+        return self.spec.client_node_read_bandwidth / max(1, streams_per_node)
+
+    def flush_cap(self, streams_per_node: int) -> float:
+        """Per-stream cap for server flush streams sharing one node."""
+        return self.spec.flush_node_bandwidth / max(1, streams_per_node)
+
+    def write(self, nbytes_per_stream: float, streams: int = 1,
+              shared_file: bool = False,
+              per_stream_cap: float = math.inf,
+              efficiency: float = 1.0,
+              tag: Optional[str] = None) -> Event:
+        """Timed write; ``shared_file`` applies the N-to-1 penalty."""
+        eff = efficiency
+        if shared_file:
+            eff *= self.spec.shared_file_efficiency(streams)
+        return self.device.write(nbytes_per_stream, streams=streams,
+                                 per_stream_cap=per_stream_cap,
+                                 efficiency=max(1e-3, min(1.0, eff)),
+                                 tag=tag or "bb-write")
+
+    def read(self, nbytes_per_stream: float, streams: int = 1,
+             shared_file: bool = False,
+             per_stream_cap: float = math.inf,
+             efficiency: float = 1.0,
+             tag: Optional[str] = None) -> Event:
+        """Timed read; shared-file reads pay a softened (sqrt) penalty —
+        read locks are shared, only stripe-server hotspots remain."""
+        eff = efficiency
+        if shared_file:
+            eff *= math.sqrt(self.spec.shared_file_efficiency(streams))
+        return self.device.read(nbytes_per_stream, streams=streams,
+                                per_stream_cap=per_stream_cap,
+                                efficiency=max(1e-3, min(1.0, eff)),
+                                tag=tag or "bb-read")

@@ -1,0 +1,104 @@
+"""Generic storage device: capacity ledger + fair-shared bandwidth pipe."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import BandwidthResource, ContentionModel
+
+__all__ = ["CapacityError", "StorageDevice"]
+
+
+class CapacityError(RuntimeError):
+    """Raised when an allocation exceeds the device's remaining capacity."""
+
+
+class StorageDevice:
+    """A device with finite capacity and a shared read/write pipe.
+
+    Reads and writes share one :class:`BandwidthResource` (as they do on
+    real devices); asymmetric read/write speed is expressed with the
+    ``read_factor`` multiplier on per-stream caps.
+    """
+
+    def __init__(self, engine: Engine, name: str, capacity: float,
+                 bandwidth: float, latency: float = 0.0,
+                 read_factor: float = 1.0, duplex: bool = False,
+                 contention_model: Optional[ContentionModel] = None):
+        """``duplex=True`` gives reads their own pipe (of ``bandwidth *
+        read_factor``): SSD appliances and DRAM serve concurrent reads
+        and writes largely independently, which is what lets a consumer
+        application overlap a producer without halving it (§III-D).
+        Disk-based stores stay half-duplex (seek-bound)."""
+        if capacity < 0:
+            raise ValueError(f"negative capacity: {capacity}")
+        self.engine = engine
+        self.name = name
+        self.capacity = float(capacity)
+        self.read_factor = float(read_factor)
+        self.pipe = BandwidthResource(engine, bandwidth, latency=latency,
+                                      contention_model=contention_model,
+                                      name=name)
+        if duplex:
+            self.read_pipe = BandwidthResource(
+                engine, bandwidth * read_factor, latency=latency,
+                name=f"{name}.read")
+        else:
+            self.read_pipe = self.pipe
+        self._used = 0.0
+
+    # -- capacity ledger ---------------------------------------------------
+    @property
+    def used(self) -> float:
+        return self._used
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self._used
+
+    def allocate(self, nbytes: float) -> None:
+        """Reserve ``nbytes``; raises :class:`CapacityError` if impossible."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if self._used + nbytes > self.capacity * (1 + 1e-9):
+            raise CapacityError(
+                f"{self.name}: allocating {nbytes:.0f} B exceeds capacity "
+                f"({self.available:.0f} B available)")
+        self._used += nbytes
+
+    def free(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative free: {nbytes}")
+        if nbytes > self._used * (1 + 1e-9):
+            raise ValueError(
+                f"{self.name}: freeing {nbytes:.0f} B but only "
+                f"{self._used:.0f} B allocated")
+        self._used = max(0.0, self._used - nbytes)
+
+    # -- timed I/O -----------------------------------------------------------
+    def write(self, nbytes: float, streams: int = 1,
+              per_stream_cap: float = math.inf, efficiency: float = 1.0,
+              tag: Optional[str] = None, weight: float = 1.0) -> Event:
+        """Timed write of ``nbytes`` per stream; returns completion event."""
+        return self.pipe.transfer(nbytes, streams=streams,
+                                  per_stream_cap=per_stream_cap,
+                                  efficiency=efficiency, tag=tag or "write",
+                                  weight=weight, meta={"op": "write"})
+
+    def read(self, nbytes: float, streams: int = 1,
+             per_stream_cap: float = math.inf, efficiency: float = 1.0,
+             tag: Optional[str] = None, weight: float = 1.0) -> Event:
+        """Timed read of ``nbytes`` per stream; returns completion event."""
+        cap = per_stream_cap * self.read_factor if math.isfinite(
+            per_stream_cap) else per_stream_cap
+        return self.read_pipe.transfer(nbytes, streams=streams,
+                                       per_stream_cap=cap,
+                                       efficiency=efficiency,
+                                       tag=tag or "read",
+                                       weight=weight, meta={"op": "read"})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<StorageDevice {self.name!r} used={self._used:.3g}/"
+                f"{self.capacity:.3g} B>")

@@ -1,0 +1,62 @@
+"""Size/bandwidth/time unit helpers.
+
+All simulator-internal quantities are plain floats in **bytes**, **seconds**
+and **bytes/second**.  These constants keep call sites readable and make the
+binary/decimal distinction explicit: capacities follow the paper's binary
+units (MiB/GiB), bandwidths use vendor-style decimal GB/s.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB", "MiB", "GiB", "TiB",
+    "KB", "MB", "GB", "TB",
+    "USEC", "MSEC", "SEC", "MINUTE",
+    "fmt_bytes", "fmt_rate", "fmt_time",
+]
+
+KiB = 1024.0
+MiB = 1024.0 ** 2
+GiB = 1024.0 ** 3
+TiB = 1024.0 ** 4
+
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+USEC = 1e-6
+MSEC = 1e-3
+SEC = 1.0
+MINUTE = 60.0
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable binary size, e.g. ``fmt_bytes(2*MiB) == '2.00 MiB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(rate: float) -> str:
+    """Human-readable decimal rate, e.g. ``fmt_rate(3e9) == '3.00 GB/s'``."""
+    value = float(rate)
+    for unit in ("B/s", "KB/s", "MB/s", "GB/s", "TB/s"):
+        if abs(value) < 1000.0 or unit == "TB/s":
+            return f"{value:.2f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"

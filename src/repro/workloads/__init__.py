@@ -1,0 +1,27 @@
+"""I/O workloads of the evaluation (§III-A).
+
+* :mod:`~repro.workloads.hdf5sim` — a minimal HDF5-like container layout
+  (superblock + object headers + contiguous datasets) so workloads issue
+  the same *access pattern* the real library would.
+* :mod:`~repro.workloads.iobench` — the HDF5 micro-benchmark: every rank
+  writes/reads an independent, overall-contiguous block of a shared file.
+* :mod:`~repro.workloads.vpic` — the VPIC-IO kernel: 8 particle
+  properties, 8 Mi particles/rank, 256 MiB/rank per time step, with
+  compute (sleep) phases between checkpoints.
+* :mod:`~repro.workloads.bdcats` — the BD-CATS-IO kernel: the parallel
+  clustering reader that consumes all eight properties of all particles.
+"""
+
+from repro.workloads.hdf5sim import DatasetSpec, Hdf5Layout
+from repro.workloads.iobench import MicroBench
+from repro.workloads.vpic import VPIC_BYTES_PER_PROC_PER_STEP, VpicIO
+from repro.workloads.bdcats import BdCatsIO
+
+__all__ = [
+    "BdCatsIO",
+    "DatasetSpec",
+    "Hdf5Layout",
+    "MicroBench",
+    "VPIC_BYTES_PER_PROC_PER_STEP",
+    "VpicIO",
+]

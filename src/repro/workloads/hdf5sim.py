@@ -1,0 +1,114 @@
+"""A minimal HDF5-like container layout.
+
+Only the *shape* of HDF5 I/O matters to the experiments: a small metadata
+region at the front of the file (superblock + object headers) that every
+process reads/writes on open/close unless the collective optimisation is
+on (§II-F), followed by contiguous dataset regions that ranks access in
+disjoint blocks.  This module computes those offsets and generates the
+corresponding :class:`~repro.simmpi.mpiio.IORequest` lists; it makes no
+attempt to reproduce the real HDF5 bit format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.simmpi.mpiio import IORequest
+from repro.storage.datamodel import BytesPayload, PatternPayload, Payload
+
+__all__ = ["DatasetSpec", "Hdf5Layout"]
+
+#: Size of the simulated superblock + object-header region.
+METADATA_REGION_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named dataset: ``nprocs`` blocks of ``bytes_per_proc`` each."""
+
+    name: str
+    bytes_per_proc: int
+    nprocs: int
+
+    def __post_init__(self):
+        if self.bytes_per_proc <= 0 or self.nprocs <= 0:
+            raise ValueError(f"invalid dataset spec {self}")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_proc * self.nprocs
+
+
+class Hdf5Layout:
+    """Offset arithmetic for a container of contiguous datasets."""
+
+    def __init__(self, datasets: List[DatasetSpec]):
+        if not datasets:
+            raise ValueError("need at least one dataset")
+        names = [d.name for d in datasets]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dataset names in {names}")
+        self.datasets = list(datasets)
+        self._offsets: Dict[str, int] = {}
+        cursor = METADATA_REGION_BYTES
+        for ds in datasets:
+            self._offsets[ds.name] = cursor
+            cursor += ds.total_bytes
+        self.file_size = cursor
+
+    def dataset(self, name: str) -> DatasetSpec:
+        for ds in self.datasets:
+            if ds.name == name:
+                return ds
+        raise KeyError(name)
+
+    def dataset_offset(self, name: str) -> int:
+        return self._offsets[name]
+
+    def block_range(self, name: str, rank: int) -> Tuple[int, int]:
+        """(offset, length) of ``rank``'s block of dataset ``name``."""
+        ds = self.dataset(name)
+        if not 0 <= rank < ds.nprocs:
+            raise ValueError(f"rank {rank} outside dataset of {ds.nprocs}")
+        return (self._offsets[name] + rank * ds.bytes_per_proc,
+                ds.bytes_per_proc)
+
+    # -- request builders ---------------------------------------------------
+    def metadata_write(self) -> IORequest:
+        """Root's superblock/object-header write."""
+        return IORequest(0, 0, METADATA_REGION_BYTES,
+                         BytesPayload(b"\x89HDF\r\n" +
+                                      bytes(METADATA_REGION_BYTES - 6)))
+
+    def write_requests(self, name: str,
+                       payload_seed_base: int = 0) -> List[IORequest]:
+        """One block write per rank; rank ``r`` carries pattern payload
+        ``seed_base + r`` starting at its dataset-local offset (so the
+        whole dataset reads back as one coherent per-rank stream)."""
+        ds = self.dataset(name)
+        out = []
+        for rank in range(ds.nprocs):
+            offset, length = self.block_range(name, rank)
+            out.append(IORequest(rank, offset, length,
+                                 PatternPayload(payload_seed_base + rank),
+                                 payload_offset=0))
+        return out
+
+    def read_requests(self, name: str,
+                      ranks: Optional[List[int]] = None,
+                      reader_of_block=None) -> List[IORequest]:
+        """Block reads; by default rank r reads block r (``reader_of_block``
+        remaps, e.g. for a reader application with fewer ranks)."""
+        ds = self.dataset(name)
+        ranks = list(range(ds.nprocs)) if ranks is None else ranks
+        out = []
+        for block in ranks:
+            reader = block if reader_of_block is None else reader_of_block(block)
+            offset, length = self.block_range(name, block)
+            out.append(IORequest(reader, offset, length))
+        return out
+
+    def expected_block_payload(self, name: str, rank: int,
+                               payload_seed_base: int = 0) -> Payload:
+        return PatternPayload(payload_seed_base + rank)

@@ -1,0 +1,102 @@
+"""Smoke tests: every figure runner at small scale asserts the paper's
+qualitative ordering (who wins).  The benchmark suite checks the ratio
+bands at real scales; these just guarantee the runners stay runnable and
+directionally correct in plain CI."""
+
+import pytest
+
+from repro.experiments import (
+    run_fig5a,
+    run_fig5b,
+    run_fig5c,
+    run_fig6a,
+    run_fig6b,
+    run_fig6c,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+)
+from repro.units import MiB
+
+PROCS = [64]
+SMALL_PARTICLES = 2 ** 20  # 32 MiB/proc/step keeps VPIC figures quick
+
+
+class TestFig5Smoke:
+    def test_fig5a_orderings(self):
+        t = run_fig5a(procs_list=PROCS, bytes_per_proc=64 * MiB)
+        row = t.rows[64]
+        assert row["IA+COC"] >= row["No-IA"]
+        assert row["IA+COC"] >= row["No-COC"]
+
+    def test_fig5b_orderings(self):
+        t = run_fig5b(procs_list=PROCS, bytes_per_proc=64 * MiB,
+                      verify=True)
+        row = t.rows[64]
+        assert row["IA+COC"] >= row["No-IA"]
+        assert row["IA+COC"] >= row["No-COC"]
+
+    def test_fig5c_orderings(self):
+        t = run_fig5c(procs_list=PROCS, bytes_per_proc=64 * MiB)
+        row = t.rows[64]
+        assert row["IA+ADPT"] > row["Disabled"]
+        assert row["IA+ADPT"] >= row["No-IA"]
+        assert row["IA+ADPT"] >= row["No-ADPT"]
+
+
+class TestFig6Smoke:
+    def test_fig6a_ordering(self):
+        t = run_fig6a(procs_list=PROCS, bytes_per_proc=64 * MiB)
+        row = t.rows[64]
+        assert (row["UniviStor/DRAM"] > row["UniviStor/BB"]
+                > row["DE"] > row["Lustre"])
+
+    def test_fig6b_ordering(self):
+        t = run_fig6b(procs_list=PROCS, bytes_per_proc=64 * MiB,
+                      verify=True)
+        row = t.rows[64]
+        assert row["UniviStor/DRAM"] > row["UniviStor/BB"] > row["DE"]
+
+    def test_fig6c_ordering(self):
+        t = run_fig6c(procs_list=PROCS, bytes_per_proc=64 * MiB)
+        row = t.rows[64]
+        assert row["UniviStor/DRAM"] >= row["UniviStor/BB"] * 0.99
+        assert row["UniviStor/BB"] > row["DE"]
+
+
+class TestVpicFiguresSmoke:
+    def test_fig7_ordering(self):
+        t = run_fig7(procs_list=PROCS, steps=2, compute_seconds=5.0,
+                     particles_per_proc=SMALL_PARTICLES)
+        row = t.rows[64]
+        assert (row["UniviStor/DRAM"] < row["UniviStor/BB"]
+                < row["DE"] < row["Lustre"])
+
+    def test_fig8_ordering(self):
+        t = run_fig8(procs_list=PROCS, steps=3, compute_seconds=0.0,
+                     particles_per_proc=SMALL_PARTICLES)
+        row = t.rows[64]
+        # At this tiny size nothing spills, so DRAM+BB == pure DRAM speed;
+        # the orderings that must hold regardless:
+        assert row["UniviStor/(DRAM+BB+Disk)"] <= row["UniviStor/(BB+Disk)"]
+        assert row["UniviStor/(DRAM+BB+Disk)"] < row["UniviStor/(Disk)"]
+
+    def test_fig9_ordering(self):
+        t = run_fig9(procs_list=PROCS, steps=2,
+                     particles_per_proc=SMALL_PARTICLES, verify=True)
+        row = t.rows[64]
+        assert (row["UniviStor/DRAM Overlap"]
+                <= row["UniviStor/DRAM Nonoverlap"])
+        assert (row["UniviStor/BB Overlap"]
+                <= row["UniviStor/BB Nonoverlap"])
+        assert row["UniviStor/DRAM Nonoverlap"] < row["DE"]
+        assert row["UniviStor/BB Nonoverlap"] < row["DE"]
+        assert row["DE"] <= row["Lustre"] * 1.05
+
+    def test_fig10_ordering(self):
+        t = run_fig10(procs_list=PROCS, steps=3,
+                      particles_per_proc=SMALL_PARTICLES, verify=True)
+        row = t.rows[64]
+        assert row["UniviStor/(DRAM+BB)"] <= row["UniviStor/(BB)"]
+        assert row["UniviStor/(DRAM+BB)"] < row["UniviStor/(Disk)"]

@@ -1,0 +1,106 @@
+"""In-transit analysis: producer and consumer on *disjoint* node sets.
+
+§I distinguishes in-situ (analysis sharing the producer's nodes, reading
+node-locally) from in-transit (analysis on its own nodes, pulling data
+over the interconnect).  With disjoint placement every DRAM-cached byte
+is remote to the reader — the location-aware read service's remote path —
+while burst-buffer data stays directly reachable, which is precisely why
+the BB is attractive for in-transit coupling.
+"""
+
+import pytest
+
+from repro import (
+    IORequest,
+    MachineSpec,
+    PatternPayload,
+    Simulation,
+    UniviStorConfig,
+)
+from repro.units import KiB, MiB
+from repro.workloads import BdCatsIO, VpicIO
+
+
+class TestDisjointPlacement:
+    def test_node_offset_maps_ranks_to_later_nodes(self):
+        sim = Simulation(MachineSpec.small_test(nodes=4))
+        producer = sim.comm("prod", 4, procs_per_node=2)
+        consumer = sim.comm("cons", 4, procs_per_node=2, node_offset=2)
+        assert {producer.node_of_rank(r).node_id for r in range(4)} == {0, 1}
+        assert {consumer.node_of_rank(r).node_id for r in range(4)} == {2, 3}
+
+    def test_ranks_on_node_respects_offset(self):
+        sim = Simulation(MachineSpec.small_test(nodes=4))
+        consumer = sim.comm("cons", 4, procs_per_node=2, node_offset=2)
+        assert consumer.ranks_on_node(0) == []
+        assert consumer.ranks_on_node(2) == [0, 1]
+        assert consumer.ranks_on_node(3) == [2, 3]
+
+    def test_invalid_offset_rejected(self):
+        sim = Simulation(MachineSpec.small_test(nodes=2))
+        with pytest.raises(ValueError):
+            sim.comm("x", 2, node_offset=5)
+
+    def test_overflow_past_last_node_rejected(self):
+        sim = Simulation(MachineSpec.small_test(nodes=2))
+        with pytest.raises(ValueError):
+            sim.comm("x", 8, procs_per_node=2, node_offset=1)
+
+
+class TestInTransitReads:
+    def setup_pair(self, config):
+        sim = Simulation(MachineSpec.small_test(nodes=4))
+        sim.install_univistor(config)
+        producer = sim.comm("prod", 4, procs_per_node=2)
+        consumer = sim.comm("cons", 4, procs_per_node=2, node_offset=2)
+        return sim, producer, consumer
+
+    def write_then_read(self, sim, producer, consumer, block):
+        def workflow():
+            fh = yield from sim.open(producer, "/f", "w",
+                                     fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, block, PatternPayload(r))
+                for r in range(4)])
+            yield from fh.close()
+            fh2 = yield from sim.open(consumer, "/f", "r",
+                                      fstype="univistor")
+            data = yield from fh2.read_at_all([
+                IORequest(r, r * block, block) for r in range(4)])
+            yield from fh2.close()
+            return data
+
+        data = sim.run_to_completion(workflow())
+        for r in range(4):
+            blob = b"".join(e.materialize() for e in data[r])
+            assert blob == PatternPayload(r).materialize(0, block)
+
+    def test_dram_data_read_remotely(self):
+        sim, producer, consumer = self.setup_pair(
+            UniviStorConfig.dram_only(flush_enabled=False))
+        self.write_then_read(sim, producer, consumer, int(256 * KiB))
+        # All data crossed the backbone (disjoint nodes -> remote reads).
+        assert sim.machine.network.backbone.bytes_moved >= 4 * 256 * KiB
+
+    def test_bb_data_read_directly(self):
+        sim, producer, consumer = self.setup_pair(
+            UniviStorConfig.bb_only(flush_enabled=False))
+        self.write_then_read(sim, producer, consumer, int(256 * KiB))
+        # Shared-BB segments are globally visible: no backbone crossing.
+        assert sim.machine.network.backbone.bytes_moved < 256 * KiB
+
+    def test_in_transit_workflow_end_to_end(self):
+        """VPIC on nodes 0-1, BD-CATS on nodes 2-3, overlapping, with
+        workflow locks and sample verification."""
+        sim = Simulation(MachineSpec.small_test(nodes=4))
+        sim.install_univistor(
+            UniviStorConfig.dram_bb(workflow_enabled=True))
+        wcomm = sim.comm("vpic", 4, procs_per_node=2)
+        rcomm = sim.comm("bdcats", 4, procs_per_node=2, node_offset=2)
+        vpic = VpicIO(sim, wcomm, "univistor", steps=3, compute_seconds=0,
+                      particles_per_proc=64 * 1024)
+        bdcats = BdCatsIO(sim, rcomm, vpic, "univistor")
+        w = sim.spawn(vpic.run(sync_last=False), name="vpic")
+        r = sim.spawn(bdcats.run(verify_sample=True), name="bdcats")
+        sim.run()
+        assert w.ok and r.ok

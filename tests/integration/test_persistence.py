@@ -1,0 +1,130 @@
+"""Job-to-job persistence (§I transiency semantics).
+
+Node-local and burst-buffer data are job-scoped: "data integrity is
+assured within the job's life cycle", so important data must be flushed
+to the PFS.  These tests run one job, tear it down, and start a *new* job
+(fresh Simulation, fresh caches) sharing only the persistent PFS
+namespace — reads must come back byte-exact from the flushed copies, and
+unflushed data must be gone.
+"""
+
+import pytest
+
+from repro import (
+    IORequest,
+    MachineSpec,
+    PatternPayload,
+    Simulation,
+    UniviStorConfig,
+)
+from repro.units import KiB
+
+
+def run_job1(flush=True):
+    sim = Simulation(MachineSpec.small_test(nodes=2))
+    config = UniviStorConfig.dram_only()
+    if not flush:
+        config = config.without("flush_enabled")
+    sim.install_univistor(config)
+    comm = sim.comm("producer", 4, procs_per_node=2)
+    block = int(128 * KiB)
+
+    def app():
+        fh = yield from sim.open(comm, "/pfs/persist.dat", "w",
+                                 fstype="univistor")
+        yield from fh.write_at_all([
+            IORequest.contiguous_block(r, block, PatternPayload(r))
+            for r in range(4)])
+        yield from fh.close()
+        yield from fh.sync()
+
+    sim.run_to_completion(app())
+    return sim, block
+
+
+def run_job2(pfs_files, block, path="/pfs/persist.dat"):
+    sim2 = Simulation(MachineSpec.small_test(nodes=2),
+                      pfs_files=pfs_files)
+    sim2.install_univistor(UniviStorConfig.dram_only())
+    comm = sim2.comm("consumer", 2, procs_per_node=1)
+
+    def app():
+        fh = yield from sim2.open(comm, path, "r", fstype="univistor")
+        data = yield from fh.read_at_all([
+            IORequest(0, 0, 4 * block)])
+        yield from fh.close()
+        return data
+
+    return sim2, sim2.run_to_completion(app())
+
+
+class TestPersistence:
+    def test_second_job_reads_flushed_data(self):
+        sim1, block = run_job1(flush=True)
+        sim2, data = run_job2(sim1.machine.pfs_files, block)
+        blob = b"".join(e.materialize() for e in data[0])
+        expected = b"".join(PatternPayload(r).materialize(0, block)
+                            for r in range(4))
+        assert blob == expected
+
+    def test_second_job_read_timed_as_lustre(self):
+        sim1, block = run_job1(flush=True)
+        sim2, _ = run_job2(sim1.machine.pfs_files, block)
+        read, = sim2.telemetry.select(op="read")
+        assert read.duration > 0
+        # The bytes moved through the Lustre pipe, not any cache tier.
+        assert (sim2.machine.lustre.device.pipe.bytes_moved
+                == pytest.approx(4 * block, rel=1e-6))
+
+    def test_unflushed_data_is_gone(self):
+        sim1, block = run_job1(flush=False)
+        with pytest.raises(FileNotFoundError):
+            run_job2(sim1.machine.pfs_files, block)
+
+    def test_caches_start_empty_in_new_job(self):
+        sim1, block = run_job1(flush=True)
+        sim2, _ = run_job2(sim1.machine.pfs_files, block)
+        for node in sim2.machine.nodes:
+            assert node.dram.used == 0
+
+    def test_second_job_can_extend_and_reflush(self):
+        sim1, block = run_job1(flush=True)
+        sim2 = Simulation(MachineSpec.small_test(nodes=2),
+                          pfs_files=sim1.machine.pfs_files)
+        sim2.install_univistor(UniviStorConfig.dram_only())
+        comm = sim2.comm("appender", 2, procs_per_node=1)
+
+        def app():
+            fh = yield from sim2.open(comm, "/pfs/persist.dat", "w",
+                                      fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest(r, (4 + r) * block, block, PatternPayload(40 + r))
+                for r in range(2)])
+            yield from fh.close()
+            yield from fh.sync()
+
+        sim2.run_to_completion(app())
+        pfs = sim2.machine.pfs_files.open("/pfs/persist.dat")
+        # Old data still there, new data appended.
+        assert pfs.read_bytes(0, block) == PatternPayload(0).materialize(
+            0, block)
+        assert pfs.read_bytes(5 * block, block) == PatternPayload(
+            41).materialize(0, block)
+
+    def test_within_job_delete_then_read_falls_back_to_pfs(self):
+        """Even inside one job: dropping the cached session leaves the
+        flushed copy readable through the same open/read API."""
+        sim1, block = run_job1(flush=True)
+        sim1.univistor.delete_file("/pfs/persist.dat")
+        comm = sim1.comm("late-reader", 2, procs_per_node=1)
+
+        def app():
+            fh = yield from sim1.open(comm, "/pfs/persist.dat", "r",
+                                      fstype="univistor")
+            data = yield from fh.read_at_all([IORequest(0, 0, block)])
+            yield from fh.close()
+            return data
+
+        data = sim1.run_to_completion(app())
+        blob = b"".join(e.materialize() for e in data[0])
+        assert blob == PatternPayload(0).materialize(0, block)

@@ -1,0 +1,292 @@
+"""End-to-end integration tests: the full UniviStor stack on a small
+machine — write through MPI-IO, spill, flush, read back, verify bytes."""
+
+import math
+
+import pytest
+
+from repro import (
+    IORequest,
+    MachineSpec,
+    PatternPayload,
+    Simulation,
+    StorageTier,
+    UniviStorConfig,
+)
+from repro.cluster.spec import NodeSpec
+from repro.units import GiB, KiB, MiB
+
+
+def make_sim(config=None, nodes=2, **spec_kw):
+    sim = Simulation(MachineSpec.small_test(nodes=nodes, **spec_kw))
+    sim.install_univistor(config or UniviStorConfig.dram_bb())
+    return sim
+
+
+def write_read_roundtrip(sim, comm, path, block, nranks, seed_base=0):
+    def app():
+        fh = yield from sim.open(comm, path, "w", fstype="univistor")
+        writes = [IORequest.contiguous_block(
+            r, block, PatternPayload(seed_base + r)) for r in range(nranks)]
+        yield from fh.write_at_all(writes)
+        yield from fh.close()
+        fh2 = yield from sim.open(comm, path, "r", fstype="univistor")
+        reads = [IORequest(r, r * block, block) for r in range(nranks)]
+        data = yield from fh2.read_at_all(reads)
+        yield from fh2.close()
+        return data
+
+    data = sim.run_to_completion(app())
+    for r in range(nranks):
+        blob = b"".join(e.materialize() for e in data[r])
+        assert blob == PatternPayload(seed_base + r).materialize(0, block), \
+            f"rank {r} corrupted"
+    return data
+
+
+class TestWriteReadVerify:
+    def test_dram_only_roundtrip(self):
+        sim = make_sim(UniviStorConfig.dram_only())
+        comm = sim.comm("app", 8, procs_per_node=4)
+        write_read_roundtrip(sim, comm, "/out/a", int(1 * MiB), 8)
+
+    def test_bb_only_roundtrip(self):
+        sim = make_sim(UniviStorConfig.bb_only())
+        comm = sim.comm("app", 8, procs_per_node=4)
+        write_read_roundtrip(sim, comm, "/out/a", int(1 * MiB), 8)
+
+    def test_pfs_only_roundtrip(self):
+        sim = make_sim(UniviStorConfig.pfs_only())
+        comm = sim.comm("app", 8, procs_per_node=4)
+        write_read_roundtrip(sim, comm, "/out/a", int(1 * MiB), 8)
+
+    def test_unaligned_sizes_roundtrip(self):
+        sim = make_sim()
+        comm = sim.comm("app", 4, procs_per_node=2)
+        # Deliberately not chunk-aligned: 1 MiB + 37 bytes.
+        write_read_roundtrip(sim, comm, "/out/a", int(MiB) + 37, 4)
+
+    def test_multiple_files_independent(self):
+        sim = make_sim()
+        comm = sim.comm("app", 4, procs_per_node=2)
+        write_read_roundtrip(sim, comm, "/out/a", int(64 * KiB), 4,
+                             seed_base=100)
+        write_read_roundtrip(sim, comm, "/out/b", int(64 * KiB), 4,
+                             seed_base=200)
+
+    def test_overwrite_returns_new_data(self):
+        sim = make_sim()
+        comm = sim.comm("app", 2, procs_per_node=1)
+        block = int(256 * KiB)
+
+        def app():
+            fh = yield from sim.open(comm, "/out/a", "w", fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, block, PatternPayload(r))
+                for r in range(2)])
+            # Overwrite the middle of rank 0's block.
+            yield from fh.write_at_all([
+                IORequest(0, block // 4, block // 2, PatternPayload(99))])
+            yield from fh.close()
+            fh2 = yield from sim.open(comm, "/out/a", "r", fstype="univistor")
+            data = yield from fh2.read_at_all(
+                [IORequest(0, 0, block)])
+            yield from fh2.close()
+            return data
+
+        data = sim.run_to_completion(app())
+        blob = b"".join(e.materialize() for e in data[0])
+        expected = bytearray(PatternPayload(0).materialize(0, block))
+        expected[block // 4:block // 4 + block // 2] = \
+            PatternPayload(99).materialize(0, block // 2)
+        assert blob == bytes(expected)
+
+    def test_read_unwritten_hole_raises(self):
+        sim = make_sim()
+        comm = sim.comm("app", 2, procs_per_node=1)
+
+        def app():
+            fh = yield from sim.open(comm, "/out/a", "w", fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest(0, 0, 1024, PatternPayload(1))])
+            yield from fh.close()
+            fh2 = yield from sim.open(comm, "/out/a", "r", fstype="univistor")
+            yield from fh2.read_at_all([IORequest(0, 0, 4096)])
+
+        with pytest.raises(ValueError, match="unwritten"):
+            sim.run_to_completion(app())
+
+
+class TestSpill:
+    def spill_sim(self):
+        # Tiny DRAM cache: 8 MiB per node, 1 MiB chunks.
+        spec = MachineSpec.small_test(nodes=2)
+        node = NodeSpec(cores=4, numa_sockets=2,
+                        dram_capacity=4 * GiB,
+                        dram_cache_capacity=8 * MiB,
+                        dram_bandwidth=10e9)
+        spec = MachineSpec(nodes=2, node=node,
+                           burst_buffer=spec.burst_buffer,
+                           lustre=spec.lustre, network=spec.network,
+                           seed=3)
+        sim = Simulation(spec)
+        sim.install_univistor(UniviStorConfig.dram_bb(chunk_size=1 * MiB))
+        return sim
+
+    def test_data_spills_to_bb_and_stays_readable(self):
+        sim = self.spill_sim()
+        comm = sim.comm("app", 4, procs_per_node=2)
+        # 4 ranks x 8 MiB = 32 MiB >> 16 MiB of DRAM cache.
+        write_read_roundtrip(sim, comm, "/out/big", int(8 * MiB), 4)
+        session = sim.univistor.session("/out/big")
+        tiers = session.cached_bytes_per_tier()
+        assert tiers.get(StorageTier.DRAM, 0) > 0
+        assert tiers.get(StorageTier.SHARED_BB, 0) > 0
+        total = sum(tiers.values())
+        assert total == pytest.approx(4 * 8 * MiB)
+
+    def test_spill_exhausts_all_tiers_to_pfs(self):
+        sim = self.spill_sim()
+        comm = sim.comm("app", 4, procs_per_node=2)
+        # Shrink the BB so even it overflows into the PFS.
+        sim.machine.burst_buffer.device.capacity = 16 * MiB
+        write_read_roundtrip(sim, comm, "/out/huge", int(16 * MiB), 4)
+        tiers = sim.univistor.session("/out/huge").cached_bytes_per_tier()
+        assert tiers.get(StorageTier.PFS, 0) > 0
+
+
+class TestFlush:
+    def test_flush_materialises_logical_file_on_pfs(self):
+        sim = make_sim(UniviStorConfig.dram_only())
+        comm = sim.comm("app", 4, procs_per_node=2)
+        block = int(512 * KiB)
+
+        def app():
+            fh = yield from sim.open(comm, "/out/ckpt", "w",
+                                     fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, block, PatternPayload(r))
+                for r in range(4)])
+            yield from fh.close()
+            yield from fh.sync()
+
+        sim.run_to_completion(app())
+        pfs_file = sim.machine.pfs_files.open("/out/ckpt")
+        for r in range(4):
+            assert (pfs_file.read_bytes(r * block, block)
+                    == PatternPayload(r).materialize(0, block))
+
+    def test_flush_disabled_keeps_pfs_clean(self):
+        sim = make_sim(UniviStorConfig.dram_only(flush_enabled=False))
+        comm = sim.comm("app", 2, procs_per_node=1)
+        write_read_roundtrip(sim, comm, "/out/tmp", int(64 * KiB), 2)
+        assert not sim.machine.pfs_files.exists("/out/tmp")
+
+    def test_flush_is_asynchronous(self):
+        """close returns before the flush completes (§II-A)."""
+        sim = make_sim(UniviStorConfig.dram_only())
+        comm = sim.comm("app", 4, procs_per_node=2)
+
+        def app():
+            fh = yield from sim.open(comm, "/out/x", "w", fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, int(8 * MiB), PatternPayload(r))
+                for r in range(4)])
+            yield from fh.close()
+            t_close = sim.now
+            yield from fh.sync()
+            return t_close, sim.now
+
+        t_close, t_synced = sim.run_to_completion(app())
+        assert t_synced > t_close, "flush should extend past close"
+
+    def test_repeated_close_flushes_only_new_bytes(self):
+        sim = make_sim(UniviStorConfig.dram_only())
+        comm = sim.comm("app", 2, procs_per_node=1)
+        block = int(128 * KiB)
+
+        def app():
+            for round_ in range(2):
+                fh = yield from sim.open(comm, "/out/x", "w",
+                                         fstype="univistor")
+                yield from fh.write_at_all([
+                    IORequest(r, (2 * round_ + r) * block, block,
+                              PatternPayload(10 * round_ + r))
+                    for r in range(2)])
+                yield from fh.close()
+                yield from fh.sync()
+
+        sim.run_to_completion(app())
+        flushes = sim.telemetry.select(op="flush")
+        assert len(flushes) == 2
+        assert flushes[0].nbytes == pytest.approx(2 * block)
+        assert flushes[1].nbytes == pytest.approx(2 * block)
+
+    def test_cache_still_serves_reads_after_flush(self):
+        sim = make_sim(UniviStorConfig.dram_only())
+        comm = sim.comm("app", 2, procs_per_node=1)
+        block = int(64 * KiB)
+
+        def app():
+            fh = yield from sim.open(comm, "/out/x", "w", fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, block, PatternPayload(r))
+                for r in range(2)])
+            yield from fh.close()
+            yield from fh.sync()
+            fh2 = yield from sim.open(comm, "/out/x", "r", fstype="univistor")
+            data = yield from fh2.read_at_all(
+                [IORequest(r, r * block, block) for r in range(2)])
+            yield from fh2.close()
+            return data
+
+        data = sim.run_to_completion(app())
+        # Data still resolves via DHP logs (cache retained after flush).
+        session = sim.univistor.session("/out/x")
+        assert session.cached_bytes_per_tier()[StorageTier.DRAM] > 0
+        blob = b"".join(e.materialize() for e in data[1])
+        assert blob == PatternPayload(1).materialize(0, block)
+
+
+class TestCrossApplicationSharing:
+    def test_second_app_reads_first_apps_data(self):
+        """The Fig. 1 scenario: App 2 reads what App 1 wrote, directly
+        from the fast tiers, via the shared UniviStor servers."""
+        sim = make_sim(UniviStorConfig.dram_only())
+        writer_comm = sim.comm("app1", 4, procs_per_node=2)
+        reader_comm = sim.comm("app2", 2, procs_per_node=1)
+        block = int(256 * KiB)
+
+        def workflow():
+            fh = yield from sim.open(writer_comm, "/out/shared", "w",
+                                     fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, block, PatternPayload(r))
+                for r in range(4)])
+            yield from fh.close()
+            fh2 = yield from sim.open(reader_comm, "/out/shared", "r",
+                                      fstype="univistor")
+            # Each reader rank consumes two writer blocks.
+            data = yield from fh2.read_at_all([
+                IORequest(r, 2 * r * block, 2 * block) for r in range(2)])
+            yield from fh2.close()
+            return data
+
+        data = sim.run_to_completion(workflow())
+        for reader in range(2):
+            blob = b"".join(e.materialize() for e in data[reader])
+            expected = (PatternPayload(2 * reader).materialize(0, block)
+                        + PatternPayload(2 * reader + 1).materialize(0, block))
+            assert blob == expected
+
+
+class TestDelete:
+    def test_delete_frees_capacity_and_metadata(self):
+        sim = make_sim(UniviStorConfig.dram_only(flush_enabled=False))
+        comm = sim.comm("app", 4, procs_per_node=2)
+        write_read_roundtrip(sim, comm, "/out/tmp", int(1 * MiB), 4)
+        used_before = sum(n.dram.used for n in sim.machine.nodes)
+        assert used_before > 0
+        sim.univistor.delete_file("/out/tmp")
+        assert sum(n.dram.used for n in sim.machine.nodes) == 0
+        assert sim.univistor.metadata.record_count == 0

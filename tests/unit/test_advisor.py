@@ -1,0 +1,141 @@
+"""Tests for the adaptive-placement advisor (§V future work)."""
+
+import pytest
+
+from repro import (
+    IORequest,
+    MachineSpec,
+    PatternPayload,
+    Simulation,
+    StorageTier,
+    UniviStorConfig,
+)
+from repro.core.advisor import PlacementAdvisor, StreamStats, stream_key
+from repro.units import KiB
+
+
+class TestStreamKey:
+    def test_strips_step_digits(self):
+        assert stream_key("/pfs/vpic_step3.h5") == "/pfs/vpic_step#.h#"
+        assert (stream_key("/pfs/vpic_step3.h5")
+                == stream_key("/pfs/vpic_step12.h5"))
+
+    def test_distinct_streams_distinct_keys(self):
+        assert stream_key("/a/ckpt1") != stream_key("/b/ckpt1")
+
+
+class TestAdvisorLogic:
+    TIERS = (StorageTier.DRAM, StorageTier.SHARED_BB)
+
+    def test_no_history_keeps_configured_order(self):
+        advisor = PlacementAdvisor()
+        assert advisor.advise_tiers("/f0", self.TIERS) == self.TIERS
+
+    def test_write_once_stream_demotes_local_tiers(self):
+        advisor = PlacementAdvisor()
+        advisor.note_write_close("/ckpt0", 100)
+        advisor.note_write_close("/ckpt1", 100)
+        advised = advisor.advise_tiers("/ckpt2", self.TIERS)
+        assert advised == (StorageTier.SHARED_BB, StorageTier.DRAM)
+
+    def test_single_file_history_not_enough(self):
+        advisor = PlacementAdvisor()
+        advisor.note_write_close("/ckpt0", 100)
+        assert advisor.advise_tiers("/ckpt1", self.TIERS) == self.TIERS
+
+    def test_cache_read_keeps_dram_first(self):
+        advisor = PlacementAdvisor()
+        for i in range(3):
+            advisor.note_write_close(f"/wf{i}", 100)
+            advisor.note_cache_read(f"/wf{i}", 100)
+        assert advisor.advise_tiers("/wf3", self.TIERS) == self.TIERS
+
+    def test_read_counted_once_per_file(self):
+        advisor = PlacementAdvisor()
+        advisor.note_write_close("/f0", 100)
+        advisor.note_cache_read("/f0", 10)
+        advisor.note_cache_read("/f0", 10)
+        stats = advisor.stats_for("/f0")
+        assert stats.files_cache_read == 1
+        assert stats.bytes_cache_read == 20
+
+    def test_stats_properties(self):
+        s = StreamStats(files_written=4, files_cache_read=1)
+        assert s.read_ratio == 0.25
+        assert not s.looks_write_once
+        assert StreamStats(files_written=2).looks_write_once
+        assert not StreamStats().looks_write_once
+
+    def test_describe_snapshot(self):
+        advisor = PlacementAdvisor()
+        advisor.note_write_close("/ckpt0", 100)
+        advisor.note_write_close("/ckpt1", 100)
+        snap = advisor.describe()
+        assert snap[stream_key("/ckpt0")]["write_once"]
+
+
+class TestAdaptivePlacementEndToEnd:
+    def run_stream(self, adaptive, read_back=False, files=4):
+        config = UniviStorConfig.dram_bb(adaptive_placement=adaptive,
+                                         flush_enabled=False)
+        sim = Simulation(MachineSpec.small_test(nodes=2))
+        sim.install_univistor(config)
+        comm = sim.comm("app", 4, procs_per_node=2)
+        block = int(64 * KiB)
+
+        def app():
+            for i in range(files):
+                path = f"/pfs/ckpt{i}.h5"
+                fh = yield from sim.open(comm, path, "w",
+                                         fstype="univistor")
+                yield from fh.write_at_all([
+                    IORequest.contiguous_block(r, block, PatternPayload(r))
+                    for r in range(4)])
+                yield from fh.close()
+                if read_back:
+                    fh2 = yield from sim.open(comm, path, "r",
+                                              fstype="univistor")
+                    yield from fh2.read_at_all([
+                        IORequest(r, r * block, block) for r in range(4)])
+                    yield from fh2.close()
+        sim.run_to_completion(app())
+        return sim
+
+    def tier_of_file(self, sim, path):
+        session = sim.univistor.session(path)
+        tiers = {t for t, n in session.cached_bytes_per_tier().items()
+                 if n > 0}
+        return tiers
+
+    def test_write_once_stream_migrates_off_dram(self):
+        sim = self.run_stream(adaptive=True, read_back=False)
+        # First two files establish the pattern on DRAM; later ones go BB.
+        assert StorageTier.DRAM in self.tier_of_file(sim, "/pfs/ckpt0.h5")
+        assert self.tier_of_file(sim, "/pfs/ckpt3.h5") == {
+            StorageTier.SHARED_BB}
+
+    def test_reread_stream_stays_on_dram(self):
+        sim = self.run_stream(adaptive=True, read_back=True)
+        assert StorageTier.DRAM in self.tier_of_file(sim, "/pfs/ckpt3.h5")
+
+    def test_disabled_never_migrates(self):
+        sim = self.run_stream(adaptive=False, read_back=False)
+        assert StorageTier.DRAM in self.tier_of_file(sim, "/pfs/ckpt3.h5")
+
+    def test_correctness_preserved_under_adaptation(self):
+        sim = self.run_stream(adaptive=True, read_back=False)
+        comm = sim.comm("reader", 2, procs_per_node=1)
+        block = int(64 * KiB)
+
+        def app():
+            fh = yield from sim.open(comm, "/pfs/ckpt3.h5", "r",
+                                     fstype="univistor")
+            data = yield from fh.read_at_all([IORequest(0, 0, 4 * block)])
+            yield from fh.close()
+            return data
+
+        data = sim.run_to_completion(app())
+        blob = b"".join(e.materialize() for e in data[0])
+        expected = b"".join(PatternPayload(r).materialize(0, block)
+                            for r in range(4))
+        assert blob == expected

@@ -1,0 +1,114 @@
+"""Unit tests for telemetry and table reporting."""
+
+import math
+
+import pytest
+
+from repro.analysis import OpRecord, Table, Telemetry, fmt_markdown_table
+from repro.sim import Engine
+
+
+class TestTelemetry:
+    def make(self):
+        engine = Engine()
+        tel = Telemetry(engine)
+        return engine, tel
+
+    def run_clock(self, engine, t):
+        engine.run(until=t)
+
+    def test_record_captures_interval(self):
+        engine, tel = self.make()
+        self.run_clock(engine, 5.0)
+        rec = tel.record(app="a", op="write", path="/f", t_start=2.0,
+                         nbytes=100.0)
+        assert rec.duration == pytest.approx(3.0)
+        assert rec.t_end == 5.0
+
+    def test_select_filters(self):
+        engine, tel = self.make()
+        tel.record(app="a", op="write", path="/f", t_start=0)
+        tel.record(app="a", op="read", path="/f", t_start=0)
+        tel.record(app="b", op="write", path="/g", t_start=0)
+        assert len(tel.select(app="a")) == 2
+        assert len(tel.select(op="write")) == 2
+        assert len(tel.select(app="a", op="write")) == 1
+        assert len(tel.select(path="/g")) == 1
+        assert len(tel.select(predicate=lambda r: r.path == "/f")) == 2
+
+    def test_io_rate(self):
+        engine, tel = self.make()
+        self.run_clock(engine, 10.0)
+        tel.record(app="a", op="write", path="/f", t_start=0.0,
+                   nbytes=1000.0)
+        assert tel.io_rate(op="write") == pytest.approx(100.0)
+
+    def test_io_rate_zero_time(self):
+        engine, tel = self.make()
+        tel.record(app="a", op="write", path="/f", t_start=0.0, nbytes=10)
+        assert tel.io_rate(op="write") == 0.0
+
+    def test_op_counts_and_clear(self):
+        engine, tel = self.make()
+        tel.record(app="a", op="open", path="/f", t_start=0)
+        tel.record(app="a", op="open", path="/g", t_start=0)
+        assert tel.op_counts() == {"open": 2}
+        tel.clear()
+        assert tel.records == []
+
+
+class TestTable:
+    def make(self):
+        t = Table(title="t", xlabel="procs", ylabel="rate")
+        for x, a, b in [(64, 10.0, 5.0), (128, 20.0, 8.0)]:
+            t.add(x, "A", a)
+            t.add(x, "B", b)
+        return t
+
+    def test_series_ordering_preserved(self):
+        t = self.make()
+        assert t.series == ["A", "B"]
+
+    def test_xs_sorted(self):
+        t = Table(title="t", xlabel="x", ylabel="y")
+        t.add(128, "A", 1.0)
+        t.add(64, "A", 2.0)
+        assert t.xs() == [64, 128]
+
+    def test_column(self):
+        t = self.make()
+        assert t.column("A") == [10.0, 20.0]
+
+    def test_column_missing_is_nan(self):
+        t = self.make()
+        t.add(256, "A", 30.0)
+        col = t.column("B")
+        assert math.isnan(col[-1])
+
+    def test_ratio(self):
+        t = self.make()
+        assert t.ratio("A", "B") == {64: 2.0, 128: 2.5}
+
+    def test_ratio_band(self):
+        t = self.make()
+        lo, mean, hi = t.ratio_band("A", "B")
+        assert (lo, hi) == (2.0, 2.5)
+        assert mean == pytest.approx(2.25)
+
+    def test_ratio_band_empty(self):
+        t = Table(title="t", xlabel="x", ylabel="y")
+        lo, mean, hi = t.ratio_band("A", "B")
+        assert math.isnan(lo)
+
+    def test_markdown_rendering(self):
+        t = self.make()
+        md = fmt_markdown_table(t)
+        assert "| procs | A | B |" in md
+        assert "| 64 | 10 | 5 |" in md
+        assert md.startswith("### t")
+
+    def test_ratio_skips_zero_denominator(self):
+        t = Table(title="t", xlabel="x", ylabel="y")
+        t.add(1, "A", 5.0)
+        t.add(1, "B", 0.0)
+        assert t.ratio("A", "B") == {}

@@ -1,0 +1,227 @@
+"""Unit tests for the Data Elevator and Lustre baseline drivers."""
+
+import pytest
+
+from repro import (
+    IORequest,
+    MachineSpec,
+    PatternPayload,
+    Simulation,
+)
+from repro.baselines.data_elevator import DE_PROGRAM
+from repro.units import KiB, MiB
+
+
+def make_sim(nodes=2):
+    sim = Simulation(MachineSpec.small_test(nodes=nodes))
+    sim.install_lustre()
+    sim.install_data_elevator()
+    return sim
+
+
+def roundtrip(sim, comm, fstype, path, block, nranks):
+    def app():
+        fh = yield from sim.open(comm, path, "w", fstype=fstype)
+        yield from fh.write_at_all([
+            IORequest.contiguous_block(r, block, PatternPayload(r))
+            for r in range(nranks)])
+        yield from fh.close()
+        yield from fh.sync()
+        fh2 = yield from sim.open(comm, path, "r", fstype=fstype)
+        data = yield from fh2.read_at_all(
+            [IORequest(r, r * block, block) for r in range(nranks)])
+        yield from fh2.close()
+        return data
+
+    data = sim.run_to_completion(app())
+    for r in range(nranks):
+        blob = b"".join(e.materialize() for e in data[r])
+        assert blob == PatternPayload(r).materialize(0, block)
+    return data
+
+
+class TestLustreDirect:
+    def test_roundtrip(self):
+        sim = make_sim()
+        comm = sim.comm("app", 4, procs_per_node=2)
+        roundtrip(sim, comm, "lustre", "/out/x", int(256 * KiB), 4)
+
+    def test_data_lands_on_pfs_immediately(self):
+        sim = make_sim()
+        comm = sim.comm("app", 2, procs_per_node=1)
+
+        def app():
+            fh = yield from sim.open(comm, "/out/x", "w", fstype="lustre")
+            yield from fh.write_at_all([
+                IORequest(0, 0, 1024, PatternPayload(0))])
+            yield from fh.close()
+
+        sim.run_to_completion(app())
+        assert sim.machine.pfs_files.open("/out/x").size == 1024
+
+    def test_no_flush_records(self):
+        sim = make_sim()
+        comm = sim.comm("app", 2, procs_per_node=1)
+        roundtrip(sim, comm, "lustre", "/out/x", int(64 * KiB), 2)
+        assert sim.telemetry.select(op="flush") == []
+
+    def test_shared_write_slower_than_univistor_dram(self):
+        from repro.core.config import UniviStorConfig
+        times = {}
+        for fstype in ("lustre", "univistor"):
+            sim = Simulation(MachineSpec.cori_haswell(nodes=2))
+            sim.install_lustre()
+            sim.install_univistor(UniviStorConfig.dram_only())
+            comm = sim.comm("app", 64)
+
+            def app(fstype=fstype, sim=sim, comm=comm):
+                fh = yield from sim.open(comm, "/out/x", "w", fstype=fstype)
+                yield from fh.write_at_all([
+                    IORequest.contiguous_block(r, int(16 * MiB),
+                                               PatternPayload(r))
+                    for r in range(64)])
+                yield from fh.close()
+
+            sim.run_to_completion(app())
+            times[fstype] = sim.telemetry.total_time(op="write")
+        assert times["lustre"] > times["univistor"] * 1.5
+
+
+class TestDataElevator:
+    def test_roundtrip_same_app_from_bb(self):
+        sim = make_sim()
+        comm = sim.comm("app", 4, procs_per_node=2)
+        roundtrip(sim, comm, "data_elevator", "/out/x", int(256 * KiB), 4)
+
+    def test_servers_registered(self):
+        sim = make_sim()
+        assert sim.machine.nodes[0].procs_of(DE_PROGRAM) == 2
+
+    def test_requires_burst_buffer(self):
+        spec = MachineSpec.small_test(nodes=1)
+        spec = spec.__class__(**{**spec.__dict__, "burst_buffer": None})
+        sim = Simulation(spec)
+        with pytest.raises(ValueError, match="burst buffer"):
+            sim.install_data_elevator()
+
+    def test_cache_lands_on_bb_then_flushes_to_pfs(self):
+        sim = make_sim()
+        comm = sim.comm("app", 2, procs_per_node=1)
+
+        def app():
+            fh = yield from sim.open(comm, "/out/x", "w",
+                                     fstype="data_elevator")
+            yield from fh.write_at_all([
+                IORequest(0, 0, 4096, PatternPayload(5))])
+            yield from fh.close()
+            on_pfs_at_close = sim.machine.pfs_files.exists("/out/x")
+            yield from fh.sync()
+            return on_pfs_at_close
+
+        on_pfs_at_close = sim.run_to_completion(app())
+        assert sim.machine.bb_files.open("/out/x").size == 4096
+        pfs = sim.machine.pfs_files.open("/out/x")
+        assert pfs.read_bytes(0, 4096) == PatternPayload(5).materialize(
+            0, 4096)
+
+    def test_cross_app_read_waits_for_flush_and_uses_pfs(self):
+        """A consumer application gets the PFS copy, not the BB cache."""
+        sim = make_sim()
+        writer_comm = sim.comm("producer", 2, procs_per_node=1)
+        reader_comm = sim.comm("consumer", 2, procs_per_node=1)
+        block = int(128 * KiB)
+
+        def workflow():
+            fh = yield from sim.open(writer_comm, "/out/x", "w",
+                                     fstype="data_elevator")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, block, PatternPayload(r))
+                for r in range(2)])
+            yield from fh.close()
+            t_close = sim.now
+            fh2 = yield from sim.open(reader_comm, "/out/x", "r",
+                                      fstype="data_elevator")
+            data = yield from fh2.read_at_all(
+                [IORequest(r, r * block, block) for r in range(2)])
+            yield from fh2.close()
+            return t_close, data
+
+        t_close, data = sim.run_to_completion(workflow())
+        # The read waited (inside read_at_all) for the flush to land on
+        # the PFS before any data moved.
+        flush = sim.telemetry.select(op="flush")[0]
+        reads = sim.telemetry.select(op="read", app="consumer")
+        assert reads[0].t_end >= flush.t_end - 1e-9
+        assert reads[0].duration > flush.t_end - reads[0].t_start
+        blob = b"".join(e.materialize() for e in data[1])
+        assert blob == PatternPayload(1).materialize(0, block)
+
+    def test_same_app_read_does_not_wait_for_flush(self):
+        sim = make_sim()
+        comm = sim.comm("app", 2, procs_per_node=1)
+        block = int(4 * MiB)
+
+        def app():
+            fh = yield from sim.open(comm, "/out/x", "w",
+                                     fstype="data_elevator")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, block, PatternPayload(r))
+                for r in range(2)])
+            yield from fh.close()
+            fh2 = yield from sim.open(comm, "/out/x", "r",
+                                      fstype="data_elevator")
+            data = yield from fh2.read_at_all(
+                [IORequest(r, r * block, block) for r in range(2)])
+            yield from fh2.close()
+            yield from fh.sync()
+            return data
+
+        sim.run_to_completion(app())
+        flush = sim.telemetry.select(op="flush")[0]
+        read = sim.telemetry.select(op="read")[0]
+        assert read.t_start < flush.t_end, \
+            "same-app read should overlap the flush, not wait for it"
+
+    def test_repeated_close_flushes_incrementally(self):
+        sim = make_sim()
+        comm = sim.comm("app", 2, procs_per_node=1)
+        block = int(64 * KiB)
+
+        def app():
+            for round_ in range(2):
+                fh = yield from sim.open(comm, "/out/x", "w",
+                                         fstype="data_elevator")
+                yield from fh.write_at_all([
+                    IORequest(r, (2 * round_ + r) * block, block,
+                              PatternPayload(round_ * 10 + r))
+                    for r in range(2)])
+                yield from fh.close()
+                yield from fh.sync()
+
+        sim.run_to_completion(app())
+        flushes = sim.telemetry.select(op="flush")
+        assert len(flushes) == 2
+        assert flushes[1].nbytes == pytest.approx(2 * block)
+
+    def test_shared_file_write_slower_than_fpp_univistor_bb(self):
+        from repro.core.config import UniviStorConfig
+        times = {}
+        for fstype in ("data_elevator", "univistor"):
+            sim = Simulation(MachineSpec.cori_haswell(nodes=2))
+            sim.install_data_elevator()
+            sim.install_univistor(UniviStorConfig.bb_only())
+            comm = sim.comm("app", 64)
+
+            def app(fstype=fstype, sim=sim, comm=comm):
+                fh = yield from sim.open(comm, "/out/x", "w", fstype=fstype)
+                yield from fh.write_at_all([
+                    IORequest.contiguous_block(r, int(64 * MiB),
+                                               PatternPayload(r))
+                    for r in range(64)])
+                yield from fh.close()
+
+            sim.run_to_completion(app())
+            times[fstype] = sim.telemetry.total_time(op="write",
+                                                     app="app")
+        # DHP's file-per-process layout avoids the N-to-1 penalty.
+        assert times["data_elevator"] > times["univistor"] * 1.1

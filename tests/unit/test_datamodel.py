@@ -1,0 +1,214 @@
+"""Unit + property tests for extent maps and payloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.datamodel import (
+    BytesPayload,
+    Extent,
+    ExtentMap,
+    PatternPayload,
+    ZeroPayload,
+)
+
+
+class TestPayloads:
+    def test_bytes_payload_slices(self):
+        p = BytesPayload(b"hello world")
+        assert p.materialize(0, 5) == b"hello"
+        assert p.materialize(6, 5) == b"world"
+
+    def test_bytes_payload_out_of_range(self):
+        p = BytesPayload(b"abc")
+        with pytest.raises(IndexError):
+            p.materialize(1, 10)
+
+    def test_pattern_deterministic(self):
+        assert (PatternPayload(7).materialize(100, 64)
+                == PatternPayload(7).materialize(100, 64))
+
+    def test_pattern_seeds_differ(self):
+        assert (PatternPayload(1).materialize(0, 64)
+                != PatternPayload(2).materialize(0, 64))
+
+    def test_pattern_slice_consistent_with_whole(self):
+        whole = PatternPayload(3).materialize(0, 256)
+        part = PatternPayload(3).materialize(100, 50)
+        assert whole[100:150] == part
+
+    def test_zero_payload_zeros(self):
+        assert ZeroPayload().materialize(5, 4) == b"\x00" * 4
+
+    def test_zero_payload_singleton(self):
+        assert ZeroPayload() is ZeroPayload()
+
+    def test_same_source(self):
+        assert PatternPayload(4).same_source(PatternPayload(4))
+        assert not PatternPayload(4).same_source(PatternPayload(5))
+        assert not PatternPayload(4).same_source(ZeroPayload())
+        assert BytesPayload(b"x").same_source(BytesPayload(b"x"))
+
+
+class TestExtent:
+    def test_end(self):
+        e = Extent(10, 5, ZeroPayload())
+        assert e.end == 15
+
+    def test_slice_preserves_payload_alignment(self):
+        e = Extent(10, 10, PatternPayload(1), payload_offset=100)
+        s = e.slice(12, 17)
+        assert s.offset == 12 and s.length == 5
+        assert s.payload_offset == 102
+
+    def test_slice_out_of_range(self):
+        e = Extent(10, 10, ZeroPayload())
+        with pytest.raises(ValueError):
+            e.slice(5, 12)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            Extent(-1, 5, ZeroPayload())
+        with pytest.raises(ValueError):
+            Extent(0, 0, ZeroPayload())
+
+    def test_abuts(self):
+        a = Extent(0, 10, PatternPayload(1), 0)
+        b = Extent(10, 5, PatternPayload(1), 10)
+        c = Extent(10, 5, PatternPayload(1), 11)
+        assert a.abuts(b)
+        assert not a.abuts(c)
+
+
+class TestExtentMapBasics:
+    def test_empty(self):
+        m = ExtentMap()
+        assert m.size == 0
+        assert m.bytes_stored == 0
+        assert m.read(0, 10)[0].payload.same_source(ZeroPayload())
+
+    def test_single_write_read_back(self):
+        m = ExtentMap()
+        m.write(100, 50, PatternPayload(1), 0)
+        ext, = m.read(100, 50)
+        assert ext.offset == 100 and ext.length == 50
+        assert ext.payload.same_source(PatternPayload(1))
+
+    def test_read_with_holes(self):
+        m = ExtentMap()
+        m.write(10, 10, PatternPayload(1))
+        parts = m.read(0, 30)
+        assert [(e.offset, e.length) for e in parts] == [
+            (0, 10), (10, 10), (20, 10)]
+        assert parts[0].payload.same_source(ZeroPayload())
+        assert parts[2].payload.same_source(ZeroPayload())
+
+    def test_overwrite_middle_splits(self):
+        m = ExtentMap()
+        m.write(0, 30, PatternPayload(1), 0)
+        m.write(10, 10, PatternPayload(2), 0)
+        exts = m.read(0, 30)
+        assert [(e.offset, e.length, e.payload.describe()) for e in exts] == [
+            (0, 10, "pattern[1]"),
+            (10, 10, "pattern[2]"),
+            (20, 10, "pattern[1]"),
+        ]
+        # The tail keeps its original payload alignment.
+        assert exts[2].payload_offset == 20
+
+    def test_overwrite_exact(self):
+        m = ExtentMap()
+        m.write(0, 10, PatternPayload(1))
+        m.write(0, 10, PatternPayload(2))
+        ext, = m.read(0, 10)
+        assert ext.payload.same_source(PatternPayload(2))
+
+    def test_adjacent_writes_merge(self):
+        m = ExtentMap()
+        m.write(0, 10, PatternPayload(1), 0)
+        m.write(10, 10, PatternPayload(1), 10)
+        assert len(m) == 1
+
+    def test_non_continuation_does_not_merge(self):
+        m = ExtentMap()
+        m.write(0, 10, PatternPayload(1), 0)
+        m.write(10, 10, PatternPayload(1), 0)  # restarts payload at 0
+        assert len(m) == 2
+
+    def test_size_tracks_last_byte(self):
+        m = ExtentMap()
+        m.write(100, 10, PatternPayload(1))
+        assert m.size == 110
+
+    def test_zero_length_write_noop(self):
+        m = ExtentMap()
+        m.write(0, 0, PatternPayload(1))
+        assert len(m) == 0
+
+    def test_read_bytes_materialises(self):
+        m = ExtentMap()
+        m.write(2, 3, BytesPayload(b"abc"))
+        assert m.read_bytes(0, 7) == b"\x00\x00abc\x00\x00"
+
+    def test_same_content(self):
+        a, b = ExtentMap(), ExtentMap()
+        a.write(0, 20, PatternPayload(1), 0)
+        b.write(0, 10, PatternPayload(1), 0)
+        b.write(10, 10, PatternPayload(1), 10)
+        assert a.same_content(b, 0, 20)
+        b.write(5, 1, PatternPayload(9), 0)
+        assert not a.same_content(b, 0, 20)
+
+
+# -- property-based tests ---------------------------------------------------
+
+write_op = st.tuples(
+    st.integers(min_value=0, max_value=200),   # offset
+    st.integers(min_value=1, max_value=64),    # length
+    st.integers(min_value=0, max_value=5),     # payload seed
+    st.integers(min_value=0, max_value=100),   # payload offset
+)
+
+
+class TestExtentMapProperties:
+    @given(st.lists(write_op, max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_bytes(self, ops):
+        """The extent map must describe exactly the bytes a plain buffer holds."""
+        m = ExtentMap()
+        ref = bytearray(512)
+        for offset, length, seed, poff in ops:
+            m.write(offset, length, PatternPayload(seed), poff)
+            ref[offset:offset + length] = PatternPayload(seed).materialize(
+                poff, length)
+        assert m.read_bytes(0, 512) == bytes(ref)
+
+    @given(st.lists(write_op, max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_invariants_hold(self, ops):
+        m = ExtentMap()
+        for offset, length, seed, poff in ops:
+            m.write(offset, length, PatternPayload(seed), poff)
+            m.check_invariants()
+
+    @given(st.lists(write_op, max_size=20),
+           st.integers(min_value=0, max_value=300),
+           st.integers(min_value=1, max_value=100))
+    @settings(max_examples=200, deadline=None)
+    def test_read_covers_exactly_requested_range(self, ops, offset, length):
+        m = ExtentMap()
+        for o, l, s, p in ops:
+            m.write(o, l, PatternPayload(s), p)
+        parts = m.read(offset, length)
+        assert parts[0].offset == offset
+        assert parts[-1].end == offset + length
+        for a, b in zip(parts, parts[1:]):
+            assert a.end == b.offset
+
+    @given(st.lists(write_op, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_bytes_stored_le_span(self, ops):
+        m = ExtentMap()
+        for o, l, s, p in ops:
+            m.write(o, l, PatternPayload(s), p)
+        assert m.bytes_stored <= m.size

@@ -1,0 +1,299 @@
+"""Unit + property tests for DHP logs, chunks, free-chunk stack, spill."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import StorageTier
+from repro.core.dhp import DHPWriter, LogFile, LogFullError
+from repro.core.va import VirtualAddressSpace
+from repro.sim import Engine
+from repro.storage.datamodel import PatternPayload
+from repro.storage.device import StorageDevice
+from repro.storage.posix import FileStore
+
+
+def make_log(tier=StorageTier.DRAM, capacity=100, chunk=10, device=None,
+             store=None, name="/log"):
+    store = store or FileStore()
+    return LogFile(tier, capacity, chunk, store.create(name), device=device)
+
+
+class TestLogFileAppend:
+    def test_simple_append_single_run(self):
+        log = make_log()
+        runs = log.append(25, PatternPayload(1))
+        assert runs == [(0.0, 25)]
+        assert log.bytes_written == 25
+        assert log.allocated_chunks == 3
+
+    def test_appends_are_sequential(self):
+        log = make_log()
+        log.append(7, PatternPayload(1))
+        runs = log.append(7, PatternPayload(2))
+        assert runs == [(7.0, 7)]
+
+    def test_append_stores_real_bytes(self):
+        log = make_log()
+        log.append(5, PatternPayload(1), payload_offset=10)
+        assert (log.sim_file.read_bytes(0, 5)
+                == PatternPayload(1).materialize(10, 5))
+
+    def test_partial_append_at_log_capacity(self):
+        log = make_log(capacity=30, chunk=10)
+        runs = log.append(50, PatternPayload(1))
+        assert sum(r[1] for r in runs) == 30
+
+    def test_full_log_returns_empty(self):
+        log = make_log(capacity=10, chunk=10)
+        log.append(10, PatternPayload(1))
+        assert log.append(5, PatternPayload(2)) == []
+
+    def test_remaining_in_log(self):
+        log = make_log(capacity=40, chunk=10)
+        assert log.remaining_in_log() == 40
+        log.append(15, PatternPayload(1))
+        assert log.remaining_in_log() == 25
+
+    def test_device_pressure_stops_append(self):
+        engine = Engine()
+        device = StorageDevice(engine, "d", capacity=25, bandwidth=1.0)
+        log = make_log(capacity=1000, chunk=10, device=device)
+        runs = log.append(100, PatternPayload(1))
+        # Only 2 whole chunks fit on the device.
+        assert sum(r[1] for r in runs) == 20
+        assert device.used == 20
+
+    def test_two_logs_share_device(self):
+        engine = Engine()
+        device = StorageDevice(engine, "d", capacity=30, bandwidth=1.0)
+        store = FileStore()
+        a = make_log(capacity=1000, chunk=10, device=device, store=store,
+                     name="/a")
+        b = make_log(capacity=1000, chunk=10, device=device, store=store,
+                     name="/b")
+        a.append(20, PatternPayload(1))
+        runs = b.append(20, PatternPayload(2))
+        assert sum(r[1] for r in runs) == 10  # only one chunk left
+
+    def test_unbounded_log(self):
+        log = make_log(capacity=math.inf, chunk=10)
+        runs = log.append(10 ** 6, PatternPayload(1))
+        assert sum(r[1] for r in runs) == 10 ** 6
+        assert log.remaining_in_log() == math.inf
+
+    def test_invalid_append_length(self):
+        log = make_log()
+        with pytest.raises(ValueError):
+            log.append(0, PatternPayload(1))
+
+
+class TestFreeChunkStack:
+    def test_free_full_chunk_returns_to_stack(self):
+        log = make_log(capacity=30, chunk=10)
+        runs = log.append(30, PatternPayload(1))
+        assert log.free_stack == []
+        log.free_segment(0, 10)  # kill chunk 0 entirely
+        assert log.free_stack == [0]
+
+    def test_partial_free_keeps_chunk(self):
+        log = make_log(capacity=30, chunk=10)
+        log.append(30, PatternPayload(1))
+        log.free_segment(0, 5)
+        assert log.free_stack == []
+
+    def test_freed_chunk_is_reused_lifo(self):
+        log = make_log(capacity=30, chunk=10)
+        log.append(30, PatternPayload(1))
+        log.free_segment(10, 10)
+        log.free_segment(0, 10)
+        # Stack is LIFO: chunk 0 (pushed last) is reused first.
+        runs = log.append(10, PatternPayload(2))
+        assert runs == [(0.0, 10)]
+
+    def test_no_double_allocation_after_reuse(self):
+        log = make_log(capacity=20, chunk=10)
+        log.append(20, PatternPayload(1))
+        log.free_segment(0, 10)
+        log.append(10, PatternPayload(2))
+        # Everything allocated exactly once per live byte.
+        assert log.bytes_live == 20
+        assert log.allocated_chunks == 2
+
+    def test_active_chunk_not_pushed_while_open(self):
+        log = make_log(capacity=30, chunk=10)
+        log.append(5, PatternPayload(1))  # chunk 0 active, half-full
+        log.free_segment(0, 5)
+        assert log.free_stack == []  # not fully written: not reusable yet
+
+    def test_free_spanning_chunks(self):
+        log = make_log(capacity=30, chunk=10)
+        log.append(30, PatternPayload(1))
+        log.free_segment(5, 20)  # kills nothing fully... chunk 1 fully dead
+        assert log.free_stack == [1]
+
+    def test_over_free_raises(self):
+        log = make_log(capacity=30, chunk=10)
+        log.append(10, PatternPayload(1))
+        log.free_segment(0, 10)
+        with pytest.raises(ValueError):
+            log.free_segment(0, 10)
+
+    def test_free_unallocated_chunk_raises(self):
+        log = make_log(capacity=30, chunk=10)
+        log.append(10, PatternPayload(1))
+        with pytest.raises(ValueError):
+            log.free_segment(25, 5)
+
+
+def make_writer(caps=(20, 30), chunk=10, rank=0, device_caps=None):
+    """A 2-cache-tier + PFS writer on in-memory stores."""
+    engine = Engine()
+    store = FileStore()
+    tiers = [StorageTier.DRAM, StorageTier.SHARED_BB, StorageTier.PFS]
+    capacities = list(caps) + [math.inf]
+    logs = []
+    for i, (tier, cap) in enumerate(zip(tiers, capacities)):
+        device = None
+        if device_caps and i < len(device_caps) and device_caps[i] is not None:
+            device = StorageDevice(engine, f"d{i}", device_caps[i], 1.0)
+        logs.append(LogFile(tier, cap, chunk,
+                            store.create(f"/{rank}/{tier.value}"),
+                            device=device))
+    vas = VirtualAddressSpace(tiers, capacities)
+    return DHPWriter(rank, vas, logs)
+
+
+class TestDHPWriter:
+    def test_fits_in_first_layer(self):
+        w = make_writer()
+        segs = w.write(0, 15, PatternPayload(1))
+        assert len(segs) == 1
+        assert segs[0].tier is StorageTier.DRAM
+        assert segs[0].va == 0
+
+    def test_spill_across_layers_matches_fig2(self):
+        """The Fig. 2 scenario: 8 unit segments, layer caps 2 and 3 -> 2
+        in node-local, 3 in shared BB, 3 on the PFS."""
+        w = make_writer(caps=(2, 3), chunk=1)
+        placed = []
+        for i in range(8):
+            placed.extend(w.write(i, 1, PatternPayload(i)))
+        tiers = [s.tier for s in placed]
+        assert tiers == ([StorageTier.DRAM] * 2
+                         + [StorageTier.SHARED_BB] * 3
+                         + [StorageTier.PFS] * 3)
+        # D4 (index 3): physical address 1 in the BB log, VA 3 (Eq. 1).
+        assert placed[3].physical_address == 1
+        assert placed[3].va == 3
+
+    def test_single_write_spans_layers(self):
+        w = make_writer(caps=(20, 30))
+        segs = w.write(0, 60, PatternPayload(1))
+        by_tier = {}
+        for s in segs:
+            by_tier[s.tier] = by_tier.get(s.tier, 0) + s.length
+        assert by_tier[StorageTier.DRAM] == 20
+        assert by_tier[StorageTier.SHARED_BB] == 30
+        assert by_tier[StorageTier.PFS] == 10
+
+    def test_conservation(self):
+        w = make_writer()
+        segs = w.write(0, 45, PatternPayload(1))
+        assert sum(s.length for s in segs) == 45
+        assert sum(w.bytes_per_layer()) == 45
+
+    def test_segments_cover_logical_range_in_order(self):
+        w = make_writer(caps=(7, 11), chunk=5)
+        segs = w.write(100, 30, PatternPayload(1))
+        cursor = 100
+        for s in segs:
+            assert s.logical_offset == cursor
+            cursor += s.length
+        assert cursor == 130
+
+    def test_va_resolves_back_to_segment(self):
+        w = make_writer()
+        segs = w.write(0, 45, PatternPayload(1))
+        for s in segs:
+            layer, addr = w.vas.resolve(s.va)
+            assert layer == s.layer
+            assert addr == s.physical_address
+
+    def test_spill_level_is_sticky(self):
+        w = make_writer(caps=(20, 30))
+        w.write(0, 25, PatternPayload(1))  # spills into layer 1
+        segs = w.write(25, 5, PatternPayload(2))
+        assert all(s.tier is not StorageTier.DRAM for s in segs)
+
+    def test_free_releases_space(self):
+        w = make_writer(caps=(20, 30), chunk=10)
+        segs = w.write(0, 20, PatternPayload(1))
+        for s in segs:
+            w.free(s)
+        assert w.bytes_per_layer()[0] == 0
+
+    def test_data_readable_via_va(self):
+        w = make_writer(caps=(20, 30), chunk=10)
+        segs = w.write(0, 45, PatternPayload(7))
+        got = bytearray(45)
+        for s in segs:
+            layer, addr = w.vas.resolve(s.va)
+            data = w.logs[layer].sim_file.read_bytes(int(addr), s.length)
+            got[s.logical_offset:s.logical_offset + s.length] = data
+        assert bytes(got) == PatternPayload(7).materialize(0, 45)
+
+    def test_mismatched_logs_rejected(self):
+        w = make_writer()
+        with pytest.raises(ValueError):
+            DHPWriter(0, w.vas, w.logs[:2])
+
+
+class TestDHPProperties:
+    @given(writes=st.lists(st.integers(min_value=1, max_value=40),
+                           min_size=1, max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_spill_conservation(self, writes):
+        """Bytes in == bytes across all layers, whatever the write sizes."""
+        w = make_writer(caps=(50, 70), chunk=8)
+        offset = 0
+        for length in writes:
+            segs = w.write(offset, length, PatternPayload(offset))
+            assert sum(s.length for s in segs) == length
+            offset += length
+        assert sum(w.bytes_per_layer()) == offset
+
+    @given(writes=st.lists(st.integers(min_value=1, max_value=40),
+                           min_size=1, max_size=15))
+    @settings(max_examples=200, deadline=None)
+    def test_content_reassembles(self, writes):
+        """Reading back through VA resolution yields the exact bytes."""
+        w = make_writer(caps=(50, 70), chunk=8)
+        offset = 0
+        all_segs = []
+        for length in writes:
+            all_segs.extend(w.write(offset, length, PatternPayload(3),
+                                    payload_offset=offset))
+            offset += length
+        got = bytearray(offset)
+        for s in all_segs:
+            layer, addr = w.vas.resolve(s.va)
+            data = w.logs[layer].sim_file.read_bytes(int(addr), s.length)
+            got[s.logical_offset:s.logical_offset + s.length] = data
+        assert bytes(got) == PatternPayload(3).materialize(0, offset)
+
+    @given(chunk=st.integers(min_value=1, max_value=16),
+           n=st.integers(min_value=1, max_value=60))
+    @settings(max_examples=200, deadline=None)
+    def test_free_then_rewrite_never_double_allocates(self, chunk, n):
+        w = make_writer(caps=(64, 64), chunk=chunk)
+        segs = w.write(0, n, PatternPayload(1))
+        for s in segs:
+            w.free(s)
+        w2_segs = w.write(0, n, PatternPayload(2))
+        log0 = w.logs[0]
+        for cid in range(log0.allocated_chunks):
+            c = log0.chunk(cid)
+            assert c.live <= log0.chunk_size + 1e-9

@@ -1,0 +1,196 @@
+"""Unit + property tests for the distributed metadata service."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import StorageTier
+from repro.core.metadata import MetadataRecord, MetadataService
+
+
+def rec(offset, length, proc=0, va=None, fid=1, tier=StorageTier.DRAM,
+        node=0):
+    return MetadataRecord(fid=fid, offset=offset, length=length,
+                          proc_id=proc, va=va if va is not None else offset,
+                          tier=tier, node_id=node)
+
+
+class TestPartitioning:
+    def test_server_of_round_robin(self):
+        svc = MetadataService(n_servers=4, range_size=100)
+        assert svc.server_of(0) == 0
+        assert svc.server_of(99) == 0
+        assert svc.server_of(100) == 1
+        assert svc.server_of(399) == 3
+        assert svc.server_of(400) == 0  # wraps round-robin (Fig. 3)
+
+    def test_fig3_example(self):
+        """Fig. 3: 16 unit offsets, 4 ranges, 4 servers on 2 nodes."""
+        svc = MetadataService(n_servers=4, range_size=4)
+        owners = [svc.server_of(off) for off in range(16)]
+        assert owners == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+    def test_servers_for_range(self):
+        svc = MetadataService(n_servers=4, range_size=100)
+        assert svc.servers_for_range(0, 100) == {0}
+        assert svc.servers_for_range(50, 100) == {0, 1}
+        assert svc.servers_for_range(0, 400) == {0, 1, 2, 3}
+        assert svc.servers_for_range(0, 4000) == {0, 1, 2, 3}
+
+    def test_empty_range(self):
+        svc = MetadataService(n_servers=4, range_size=100)
+        assert svc.servers_for_range(10, 0) == set()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MetadataService(0, 100)
+        with pytest.raises(ValueError):
+            MetadataService(4, 0)
+
+
+class TestInsertLookup:
+    def test_roundtrip(self):
+        svc = MetadataService(4, 100)
+        svc.insert(rec(0, 50))
+        found, touched = svc.lookup(1, 0, 50)
+        assert len(found) == 1
+        assert found[0].offset == 0 and found[0].length == 50
+        assert touched == {0}
+
+    def test_lookup_clips(self):
+        svc = MetadataService(4, 100)
+        svc.insert(rec(0, 50, va=1000))
+        found, _ = svc.lookup(1, 10, 20)
+        assert len(found) == 1
+        assert found[0].offset == 10
+        assert found[0].length == 20
+        assert found[0].va == 1010  # VA advances with the clip
+
+    def test_record_split_across_ranges(self):
+        svc = MetadataService(4, 100)
+        touched = svc.insert(rec(50, 100))  # spans ranges 0 and 1
+        assert touched == {0, 1}
+        found, _ = svc.lookup(1, 50, 100)
+        assert sum(r.length for r in found) == 100
+        # Pieces carry contiguous VAs.
+        assert found[0].va + found[0].length == found[1].va
+
+    def test_overwrite_replaces(self):
+        svc = MetadataService(2, 1000)
+        svc.insert(rec(0, 100, proc=1))
+        svc.insert(rec(20, 30, proc=2))
+        found, _ = svc.lookup(1, 0, 100)
+        assert [(r.offset, r.length, r.proc_id) for r in found] == [
+            (0, 20, 1), (20, 30, 2), (50, 50, 1)]
+
+    def test_overwrite_va_alignment_preserved(self):
+        svc = MetadataService(2, 1000)
+        svc.insert(rec(0, 100, proc=1, va=500))
+        svc.insert(rec(20, 30, proc=2, va=0))
+        found, _ = svc.lookup(1, 50, 10)
+        assert found[0].va == 550
+
+    def test_files_are_independent(self):
+        svc = MetadataService(2, 1000)
+        svc.insert(rec(0, 10, fid=1))
+        svc.insert(rec(0, 10, fid=2, proc=9))
+        found, _ = svc.lookup(2, 0, 10)
+        assert found[0].proc_id == 9
+
+    def test_lookup_hole_returns_partial(self):
+        svc = MetadataService(2, 1000)
+        svc.insert(rec(100, 50))
+        found, _ = svc.lookup(1, 0, 300)
+        assert len(found) == 1
+        assert found[0].offset == 100
+
+    def test_delete_file(self):
+        svc = MetadataService(2, 100)
+        svc.insert(rec(0, 500))
+        touched = svc.delete_file(1)
+        assert touched == {0, 1}
+        found, _ = svc.lookup(1, 0, 500)
+        assert found == []
+        assert svc.record_count == 0
+
+    def test_records_of_sorted(self):
+        svc = MetadataService(3, 10)
+        for off in (50, 0, 30, 20):
+            svc.insert(rec(off, 5))
+        records = svc.records_of(1)
+        assert [r.offset for r in records] == [0, 20, 30, 50]
+
+    def test_load_balance_across_servers(self):
+        """Fig. 3's point: records spread over servers, none owns all."""
+        svc = MetadataService(4, 10)
+        for off in range(0, 400, 10):
+            svc.insert(rec(off, 10))
+        counts = svc.server_record_counts()
+        assert counts == [10, 10, 10, 10]
+
+
+class TestRecordSlice:
+    def test_slice(self):
+        r = rec(10, 20, va=100)
+        s = r.slice(15, 25)
+        assert s.offset == 15 and s.length == 10 and s.va == 105
+
+    def test_bad_slice(self):
+        with pytest.raises(ValueError):
+            rec(10, 20).slice(5, 15)
+
+    def test_invalid_record(self):
+        with pytest.raises(ValueError):
+            rec(-1, 10)
+        with pytest.raises(ValueError):
+            rec(0, 0)
+
+
+write = st.tuples(st.integers(min_value=0, max_value=500),
+                  st.integers(min_value=1, max_value=64),
+                  st.integers(min_value=0, max_value=7))
+
+
+class TestMetadataProperties:
+    @given(st.lists(write, min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=128))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_map(self, ops, n_servers, range_size):
+        """The distributed store behaves exactly like one flat byte map."""
+        svc = MetadataService(n_servers, range_size)
+        ref = [None] * 600  # byte -> proc_id
+        for offset, length, proc in ops:
+            svc.insert(MetadataRecord(fid=1, offset=offset, length=length,
+                                      proc_id=proc, va=offset,
+                                      tier=StorageTier.DRAM, node_id=0))
+            for b in range(offset, offset + length):
+                ref[b] = proc
+        found, _ = svc.lookup(1, 0, 600)
+        got = [None] * 600
+        for r in found:
+            for b in range(r.offset, r.offset + r.length):
+                assert got[b] is None, "overlapping records returned"
+                got[b] = r.proc_id
+        assert got == ref
+
+    @given(st.lists(write, min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_every_offset_owned_by_exactly_one_server(self, ops, n_servers):
+        svc = MetadataService(n_servers, 64)
+        for offset, length, proc in ops:
+            svc.insert(MetadataRecord(fid=1, offset=offset, length=length,
+                                      proc_id=proc, va=offset,
+                                      tier=StorageTier.DRAM, node_id=0))
+        # Each stored piece must live on the server that owns its offset.
+        for server in range(n_servers):
+            store = svc._stores[server].get(1)
+            if not store:
+                continue
+            for record in store[1]:
+                assert svc.server_of(record.offset) == server
+                # A piece never crosses a range boundary.
+                first = int(record.offset // svc.range_size)
+                last = int((record.end - 1) // svc.range_size)
+                assert first == last

@@ -1,0 +1,154 @@
+"""Tests for point-to-point messaging between simulated ranks."""
+
+import pytest
+
+from repro import MachineSpec, Simulation
+from repro.simmpi.p2p import MessageContext
+from repro.units import MiB
+
+
+@pytest.fixture
+def ctx():
+    sim = Simulation(MachineSpec.small_test(nodes=2))
+    comm = sim.comm("app", 4, procs_per_node=2)
+    return sim, MessageContext(comm)
+
+
+class TestSendRecv:
+    def test_roundtrip_payload(self, ctx):
+        sim, p2p = ctx
+
+        def app():
+            yield from p2p.send(0, 3, 1024, payload={"step": 7})
+            msg = yield from p2p.recv(3, 0)
+            return msg
+
+        msg = sim.run_to_completion(app())
+        assert msg.payload == {"step": 7}
+        assert msg.source == 0 and msg.dest == 3
+        assert msg.nbytes == 1024
+
+    def test_recv_blocks_until_send(self, ctx):
+        sim, p2p = ctx
+        times = {}
+
+        def receiver():
+            msg = yield from p2p.recv(1, 0)
+            times["recv"] = sim.now
+            return msg
+
+        def sender():
+            yield sim.engine.timeout(5.0)
+            yield from p2p.send(0, 1, 64)
+
+        sim.spawn(receiver())
+        sim.spawn(sender())
+        sim.run()
+        assert times["recv"] >= 5.0
+
+    def test_fifo_per_channel(self, ctx):
+        sim, p2p = ctx
+
+        def app():
+            for i in range(5):
+                yield from p2p.send(0, 1, 8, payload=i)
+            got = []
+            for _ in range(5):
+                msg = yield from p2p.recv(1, 0)
+                got.append(msg.payload)
+            return got
+
+        assert sim.run_to_completion(app()) == [0, 1, 2, 3, 4]
+
+    def test_channels_are_independent(self, ctx):
+        sim, p2p = ctx
+
+        def app():
+            yield from p2p.send(0, 1, 8, payload="a->b")
+            yield from p2p.send(2, 1, 8, payload="c->b")
+            from_two = yield from p2p.recv(1, 2)
+            from_zero = yield from p2p.recv(1, 0)
+            return from_two.payload, from_zero.payload
+
+        assert sim.run_to_completion(app()) == ("c->b", "a->b")
+
+    def test_cross_node_slower_than_intra_node(self, ctx):
+        sim, p2p = ctx
+        nbytes = 64 * MiB
+
+        def timed(src, dst):
+            t0 = sim.now
+
+            def app():
+                yield from p2p.send(src, dst, nbytes)
+                yield from p2p.recv(dst, src)
+
+            sim.run_to_completion(app())
+            return sim.now - t0
+
+        intra = timed(0, 1)   # ranks 0,1 share node 0
+        cross = timed(0, 2)   # rank 2 lives on node 1
+        assert cross > intra
+
+    def test_counters(self, ctx):
+        sim, p2p = ctx
+
+        def app():
+            yield from p2p.send(0, 1, 100)
+            yield from p2p.send(0, 1, 200)
+
+        sim.run_to_completion(app())
+        assert p2p.messages_sent == 2
+        assert p2p.bytes_sent == 300
+        assert p2p.pending(0, 1) == 2
+
+    def test_sendrecv_helper(self, ctx):
+        sim, p2p = ctx
+
+        def app():
+            msg = yield from p2p.sendrecv(2, 3, 16, payload="ping")
+            return msg.payload
+
+        assert sim.run_to_completion(app()) == "ping"
+
+    def test_invalid_ranks(self, ctx):
+        sim, p2p = ctx
+
+        def bad_send():
+            yield from p2p.send(0, 99, 8)
+
+        with pytest.raises(ValueError):
+            sim.run_to_completion(bad_send())
+
+    def test_negative_size(self, ctx):
+        sim, p2p = ctx
+
+        def bad():
+            yield from p2p.send(0, 1, -1)
+
+        with pytest.raises(ValueError):
+            sim.run_to_completion(bad())
+
+
+class TestCoupledPipeline:
+    def test_token_ring(self):
+        """A token passed around all ranks arrives back incremented."""
+        sim = Simulation(MachineSpec.small_test(nodes=2))
+        comm = sim.comm("ring", 4, procs_per_node=2)
+        p2p = MessageContext(comm)
+
+        def rank0():
+            yield from p2p.send(0, 1, 8, payload=1)
+            msg = yield from p2p.recv(0, 3)
+            return msg.payload
+
+        def relay(rank):
+            msg = yield from p2p.recv(rank, rank - 1)
+            yield from p2p.send(rank, (rank + 1) % 4, 8,
+                                payload=msg.payload + 1)
+
+        result = sim.spawn(rank0(), name="rank0")
+        for r in (1, 2, 3):
+            sim.spawn(relay(r), name=f"rank{r}")
+        sim.run()
+        assert result.value == 4

@@ -1,0 +1,216 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cpu import (
+    CorePlacement,
+    PlacementPolicy,
+    ProgramOnNode,
+    cpu_availability,
+    placement_efficiency,
+)
+from repro.cluster.spec import NodeSpec, SchedulingSpec
+from repro.sim import BandwidthResource, Engine
+from repro.simmpi.comm import Communicator
+from repro.cluster.topology import Machine
+from repro.cluster.spec import MachineSpec
+
+
+# ---------------------------------------------------------------------------
+# Placement algorithms (Fig. 4)
+# ---------------------------------------------------------------------------
+
+node_strategy = st.builds(
+    NodeSpec,
+    cores=st.sampled_from([4, 8, 16, 32]),
+    numa_sockets=st.sampled_from([1, 2, 4]),
+).filter(lambda n: n.cores % n.numa_sockets == 0)
+
+programs_strategy = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c", "uv"]),
+              st.integers(min_value=0, max_value=40),
+              st.sampled_from(["client", "server"])),
+    min_size=1, max_size=3, unique_by=lambda t: t[0])
+
+
+def mk_programs(raw):
+    return [ProgramOnNode(name, n, kind) for name, n, kind in raw if n > 0]
+
+
+class TestPlacementProperties:
+    @given(node=node_strategy, raw=programs_strategy,
+           flush=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_ia_places_every_process_exactly_once(self, node, raw, flush):
+        programs = mk_programs(raw)
+        assume(programs)
+        p = CorePlacement.place_interference_aware(node, programs,
+                                                   flush_active=flush)
+        total = sum(prog.nprocs for prog in programs)
+        assert p.total_processes() == total
+        for prog in programs:
+            assert len(p.processes_of(prog.name)) == prog.nprocs
+
+    @given(node=st.sampled_from([NodeSpec(cores=16, numa_sockets=2),
+                                 NodeSpec(cores=32, numa_sockets=2),
+                                 NodeSpec(cores=32, numa_sockets=4)]),
+           raw=st.lists(
+               st.tuples(st.sampled_from(["a", "b", "c"]),
+                         st.integers(min_value=0, max_value=5),
+                         st.sampled_from(["client", "server"])),
+               min_size=1, max_size=3, unique_by=lambda t: t[0]))
+    @settings(max_examples=200, deadline=None)
+    def test_ia_socket_spread_is_even_under_subscription(self, node, raw):
+        programs = mk_programs(raw)
+        assume(programs)
+        # Bounded generation keeps total <= 15 < cores: never oversubscribed.
+        p = CorePlacement.place_interference_aware(node, programs)
+        for prog in programs:
+            loads = p.socket_loads(prog.name)
+            assert max(loads) - min(loads) <= 1, \
+                f"{prog.name}: uneven sockets {loads}"
+        # No stacking when cores suffice.
+        assert p.stacking() == {}
+
+    @given(node=node_strategy, raw=programs_strategy,
+           seed=st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=200, deadline=None)
+    def test_cfs_places_every_process(self, node, raw, seed):
+        programs = mk_programs(raw)
+        assume(programs)
+        p = CorePlacement.place_cfs(node, programs,
+                                    np.random.default_rng(seed))
+        assert p.total_processes() == sum(pr.nprocs for pr in programs)
+
+    @given(node=node_strategy, raw=programs_strategy,
+           seed=st.integers(min_value=0, max_value=2 ** 31),
+           sensitivity=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_efficiencies_always_in_unit_interval(self, node, raw, seed,
+                                                  sensitivity):
+        programs = mk_programs(raw)
+        assume(programs)
+        sched = SchedulingSpec()
+        for policy_placement in (
+                CorePlacement.place_interference_aware(node, programs),
+                CorePlacement.place_cfs(node, programs,
+                                        np.random.default_rng(seed))):
+            for prog in programs:
+                eff = placement_efficiency(policy_placement, prog.name,
+                                           sched, sensitivity=sensitivity)
+                assert 0.0 < eff <= 1.0
+                cpu = cpu_availability(policy_placement, prog.name, sched)
+                assert 0.0 < cpu <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Fair-shared bandwidth
+# ---------------------------------------------------------------------------
+
+flow_strategy = st.lists(
+    st.tuples(st.floats(min_value=1.0, max_value=1e4),   # bytes/stream
+              st.integers(min_value=1, max_value=16),    # streams
+              st.floats(min_value=0.0, max_value=50.0)), # start delay
+    min_size=1, max_size=8)
+
+
+class TestBandwidthProperties:
+    @given(flows=flow_strategy,
+           bandwidth=st.floats(min_value=1.0, max_value=1e3))
+    @settings(max_examples=150, deadline=None)
+    def test_conservation_and_capacity(self, flows, bandwidth):
+        """All bytes arrive; aggregate goodput never beats the pipe."""
+        engine = Engine()
+        pipe = BandwidthResource(engine, bandwidth)
+        done = []
+
+        def submit(nbytes, streams, delay):
+            yield engine.timeout(delay)
+            flow = yield pipe.transfer(nbytes, streams=streams)
+            done.append(flow)
+
+        for nbytes, streams, delay in flows:
+            engine.process(submit(nbytes, streams, delay))
+        engine.run()
+        assert len(done) == len(flows)
+        total_bytes = sum(n * s for n, s, _d in flows)
+        assert pipe.bytes_moved == pytest.approx(total_bytes, rel=1e-6)
+        # Capacity: moved bytes <= bandwidth x busy time (+ tail epsilon).
+        assert pipe.bytes_moved <= bandwidth * pipe.busy_time * (1 + 1e-6) \
+            + 1e-3
+
+    @given(flows=flow_strategy,
+           bandwidth=st.floats(min_value=1.0, max_value=1e3))
+    @settings(max_examples=100, deadline=None)
+    def test_completion_no_earlier_than_ideal(self, flows, bandwidth):
+        """No flow finishes before its unconstrained ideal time."""
+        engine = Engine()
+        pipe = BandwidthResource(engine, bandwidth)
+        finish = {}
+
+        def submit(i, nbytes, streams, delay):
+            yield engine.timeout(delay)
+            start = engine.now
+            yield pipe.transfer(nbytes, streams=streams)
+            finish[i] = engine.now - start
+
+        for i, (nbytes, streams, delay) in enumerate(flows):
+            engine.process(submit(i, nbytes, streams, delay))
+        engine.run()
+        for i, (nbytes, streams, _delay) in enumerate(flows):
+            ideal = nbytes * streams / bandwidth
+            assert finish[i] >= ideal * (1 - 1e-6) - 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=50, deadline=None)
+    def test_determinism_under_identical_inputs(self, seed):
+        def run():
+            rng = np.random.default_rng(seed)
+            engine = Engine()
+            pipe = BandwidthResource(engine, 100.0)
+            finish = []
+
+            def submit(nbytes, delay):
+                yield engine.timeout(delay)
+                yield pipe.transfer(nbytes)
+                finish.append(engine.now)
+
+            for _ in range(6):
+                engine.process(submit(float(rng.integers(1, 1000)),
+                                      float(rng.random() * 5)))
+            engine.run()
+            return finish
+
+        assert run() == run()
+
+
+# ---------------------------------------------------------------------------
+# Communicator placement arithmetic
+# ---------------------------------------------------------------------------
+
+class TestCommunicatorProperties:
+    @given(size=st.integers(min_value=1, max_value=256),
+           ppn=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=200, deadline=None)
+    def test_rank_to_node_partition(self, size, ppn):
+        """Every rank maps to exactly one node; counts match."""
+        nodes_needed = -(-size // ppn)
+        machine = Machine(Engine(),
+                          MachineSpec.small_test(nodes=nodes_needed))
+        comm = Communicator(machine, "app", size, procs_per_node=ppn)
+        seen = {}
+        for rank in range(size):
+            node = comm.node_of_rank(rank)
+            seen[node.node_id] = seen.get(node.node_id, 0) + 1
+        assert sum(seen.values()) == size
+        for node_id, count in seen.items():
+            assert count == comm.procs_on_node(node_id)
+            assert comm.ranks_on_node(node_id) == [
+                r for r in range(size)
+                if comm.node_of_rank(r).node_id == node_id]
+        comm.free()

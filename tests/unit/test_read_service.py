@@ -1,0 +1,166 @@
+"""Unit tests for the location-aware read service (§II-B4)."""
+
+import pytest
+
+from repro import (
+    IORequest,
+    MachineSpec,
+    PatternPayload,
+    Simulation,
+    StorageTier,
+    UniviStorConfig,
+)
+from repro.units import KiB, MiB
+
+
+def setup(config=None, nodes=2):
+    sim = Simulation(MachineSpec.small_test(nodes=nodes))
+    sim.install_univistor(config or UniviStorConfig.dram_bb(
+        flush_enabled=False))
+    comm = sim.comm("app", 4, procs_per_node=2)
+    return sim, comm
+
+
+def write_blocks(sim, comm, path, block, nranks=4):
+    def app():
+        fh = yield from sim.open(comm, path, "w", fstype="univistor")
+        yield from fh.write_at_all([
+            IORequest.contiguous_block(r, block, PatternPayload(r))
+            for r in range(nranks)])
+        yield from fh.close()
+
+    sim.run_to_completion(app())
+
+
+def read_with_breakdown(sim, comm, path, requests):
+    system = sim.univistor
+    session = system.session(path)
+
+    def app():
+        out = yield from system.read_service.read_collective(
+            session, comm, requests, comm.name)
+        return out
+
+    return sim.run_to_completion(app())
+
+
+class TestBreakdownClassification:
+    def test_local_read_classified_local(self):
+        sim, comm = setup()
+        block = int(64 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        # Rank 0 (node 0) reads its own block (written on node 0).
+        _, breakdown = read_with_breakdown(
+            sim, comm, "/f", [IORequest(0, 0, block)])
+        assert breakdown.local_bytes == block
+        assert breakdown.remote_bytes == 0
+        assert breakdown.bb_bytes == 0
+
+    def test_remote_read_classified_remote(self):
+        sim, comm = setup()
+        block = int(64 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        # Rank 0 (node 0) reads rank 3's block (written on node 1).
+        _, breakdown = read_with_breakdown(
+            sim, comm, "/f", [IORequest(0, 3 * block, block)])
+        assert breakdown.remote_bytes == block
+        assert breakdown.local_bytes == 0
+
+    def test_bb_read_classified_bb(self):
+        sim, comm = setup(UniviStorConfig.bb_only(flush_enabled=False))
+        block = int(64 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        _, breakdown = read_with_breakdown(
+            sim, comm, "/f", [IORequest(0, 0, block)])
+        assert breakdown.bb_bytes == block
+        assert breakdown.local_bytes == 0
+
+    def test_mixed_read_splits_categories(self):
+        sim, comm = setup()
+        block = int(64 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        # One request spanning rank 1's (node 0) and rank 2's (node 1)
+        # blocks, issued by rank 0 on node 0.
+        _, breakdown = read_with_breakdown(
+            sim, comm, "/f", [IORequest(0, block, 2 * block)])
+        assert breakdown.local_bytes == block   # rank 1's block: node 0
+        assert breakdown.remote_bytes == block  # rank 2's block: node 1
+
+    def test_lookup_costs_counted_per_server(self):
+        sim, comm = setup()
+        block = int(64 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        _, breakdown = read_with_breakdown(
+            sim, comm, "/f", [IORequest(r, r * block, block)
+                              for r in range(4)])
+        assert sum(breakdown.lookups_per_server.values()) >= 4
+
+    def test_zero_length_request_ok(self):
+        sim, comm = setup()
+        write_blocks(sim, comm, "/f", int(64 * KiB))
+        results, breakdown = read_with_breakdown(
+            sim, comm, "/f", [IORequest(0, 0, 0)])
+        assert results[0] == []
+        assert breakdown.total_bytes == 0
+
+
+class TestLocationAwareTiming:
+    def run_read(self, location_aware, config_factory=None, nodes=2):
+        factory = config_factory or UniviStorConfig.dram_only
+        config = factory(flush_enabled=False)
+        if not location_aware:
+            config = config.without("location_aware_reads")
+        sim = Simulation(MachineSpec.cori_haswell(nodes=nodes))
+        sim.install_univistor(config)
+        comm = sim.comm("app", nodes * 32)
+        block = int(16 * MiB)
+        write_blocks(sim, comm, "/f", block, nranks=comm.size)
+        t0 = sim.now
+
+        def app():
+            fh = yield from sim.open(comm, "/f", "r", fstype="univistor")
+            data = yield from fh.read_at_all([
+                IORequest(r, r * block, block) for r in range(comm.size)])
+            yield from fh.close()
+            return data
+
+        sim.run_to_completion(app())
+        return sim.now - t0
+
+    def test_location_aware_faster_on_local_data(self):
+        assert (self.run_read(True)
+                < self.run_read(False))
+
+    def test_location_aware_faster_on_bb_data(self):
+        assert (self.run_read(True, UniviStorConfig.bb_only)
+                < self.run_read(False, UniviStorConfig.bb_only))
+
+
+class TestFunctionalResolution:
+    def test_extents_rebased_to_logical_offsets(self):
+        sim, comm = setup()
+        block = int(64 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        results, _ = read_with_breakdown(
+            sim, comm, "/f", [IORequest(1, block, block)])
+        extents = results[1]
+        assert extents[0].offset == block
+        assert extents[-1].offset + extents[-1].length == 2 * block
+
+    def test_cross_rank_read_reassembles_bytes(self):
+        sim, comm = setup()
+        block = int(64 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        results, _ = read_with_breakdown(
+            sim, comm, "/f", [IORequest(0, 0, 4 * block)])
+        blob = b"".join(e.materialize() for e in results[0])
+        expected = b"".join(PatternPayload(r).materialize(0, block)
+                            for r in range(4))
+        assert blob == expected
+
+    def test_unwritten_range_raises(self):
+        sim, comm = setup()
+        write_blocks(sim, comm, "/f", int(64 * KiB))
+        with pytest.raises(ValueError, match="unwritten"):
+            read_with_breakdown(sim, comm, "/f",
+                                [IORequest(0, 10 * int(MiB), 1024)])

@@ -1,0 +1,189 @@
+"""Tests for the resilience extension (§V future work)."""
+
+import pytest
+
+from repro import (
+    IORequest,
+    MachineSpec,
+    PatternPayload,
+    Simulation,
+    UniviStorConfig,
+)
+from repro.core.resilience import DataLossError
+from repro.units import KiB, MiB
+
+
+def setup(resilience=True, flush=False):
+    config = UniviStorConfig.dram_only(resilience_enabled=resilience,
+                                       flush_enabled=flush)
+    sim = Simulation(MachineSpec.small_test(nodes=2))
+    sim.install_univistor(config)
+    comm = sim.comm("app", 4, procs_per_node=2)
+    return sim, comm
+
+
+def write_blocks(sim, comm, path, block, sync=True):
+    def app():
+        fh = yield from sim.open(comm, path, "w", fstype="univistor")
+        yield from fh.write_at_all([
+            IORequest.contiguous_block(r, block, PatternPayload(r))
+            for r in range(comm.size)])
+        yield from fh.close()
+        if sync:
+            yield from fh.sync()  # waits for flush AND replication
+        return fh
+
+    return sim.run_to_completion(app())
+
+
+def read_all(sim, comm, path, block):
+    def app():
+        fh = yield from sim.open(comm, path, "r", fstype="univistor")
+        data = yield from fh.read_at_all([
+            IORequest(r, r * block, block) for r in range(comm.size)])
+        yield from fh.close()
+        return data
+
+    return sim.run_to_completion(app())
+
+
+class TestReplication:
+    def test_replication_happens_asynchronously(self):
+        sim, comm = setup()
+        block = int(1 * MiB)
+
+        def app():
+            fh = yield from sim.open(comm, "/f", "w", fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, block, PatternPayload(r))
+                for r in range(comm.size)])
+            yield from fh.close()
+            t_close = sim.now
+            yield from fh.sync()
+            return t_close, sim.now
+
+        t_close, t_sync = sim.run_to_completion(app())
+        assert t_sync > t_close, "replication runs after close"
+        rep, = sim.telemetry.select(op="replicate")
+        assert rep.nbytes == pytest.approx(comm.size * block)
+
+    def test_no_replication_when_disabled(self):
+        sim, comm = setup(resilience=False)
+        write_blocks(sim, comm, "/f", int(64 * KiB))
+        assert sim.telemetry.select(op="replicate") == []
+
+    def test_pfs_only_data_needs_no_replication(self):
+        sim = Simulation(MachineSpec.small_test(nodes=2))
+        sim.install_univistor(UniviStorConfig.pfs_only(
+            resilience_enabled=True, flush_enabled=False))
+        comm = sim.comm("app", 4, procs_per_node=2)
+        write_blocks(sim, comm, "/f", int(64 * KiB))
+        assert sim.telemetry.select(op="replicate") == []
+
+    def test_incremental_replication(self):
+        sim, comm = setup()
+        block = int(64 * KiB)
+
+        def app():
+            for round_ in range(2):
+                fh = yield from sim.open(comm, "/f", "w",
+                                         fstype="univistor")
+                yield from fh.write_at_all([
+                    IORequest(r, (comm.size * round_ + r) * block, block,
+                              PatternPayload(10 * round_ + r))
+                    for r in range(comm.size)])
+                yield from fh.close()
+                yield from fh.sync()
+
+        sim.run_to_completion(app())
+        reps = sim.telemetry.select(op="replicate")
+        assert len(reps) == 2
+        assert reps[1].nbytes == pytest.approx(comm.size * block)
+
+
+class TestFailover:
+    def test_read_survives_node_failure(self):
+        sim, comm = setup()
+        block = int(256 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        sim.univistor.fail_node(0)  # ranks 0 and 1 lived there
+        data = read_all(sim, comm, "/f", block)
+        for r in range(comm.size):
+            blob = b"".join(e.materialize() for e in data[r])
+            assert blob == PatternPayload(r).materialize(0, block), \
+                f"rank {r} lost data"
+
+    def test_read_without_resilience_raises(self):
+        sim, comm = setup(resilience=False)
+        block = int(256 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        sim.univistor.fail_node(0)
+        with pytest.raises(DataLossError):
+            read_all(sim, comm, "/f", block)
+
+    def test_failure_before_replication_finishes_raises(self):
+        sim, comm = setup()
+        block = int(4 * MiB)
+
+        def app():
+            fh = yield from sim.open(comm, "/f", "w", fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, block, PatternPayload(r))
+                for r in range(comm.size)])
+            yield from fh.close()
+            # Fail immediately — the async replication has not run yet.
+            sim.univistor.fail_node(0)
+            fh2 = yield from sim.open(comm, "/f", "r", fstype="univistor")
+            yield from fh2.read_at_all([IORequest(0, 0, block)])
+
+        with pytest.raises(DataLossError):
+            sim.run_to_completion(app())
+
+    def test_surviving_node_data_unaffected(self):
+        sim, comm = setup(resilience=False)
+        block = int(128 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        sim.univistor.fail_node(0)
+        # Ranks 2,3 live on node 1: still readable without resilience.
+        def app():
+            fh = yield from sim.open(comm, "/f", "r", fstype="univistor")
+            data = yield from fh.read_at_all(
+                [IORequest(2, 2 * block, block)])
+            yield from fh.close()
+            return data
+
+        data = sim.run_to_completion(app())
+        blob = b"".join(e.materialize() for e in data[2])
+        assert blob == PatternPayload(2).materialize(0, block)
+
+    def test_fail_unknown_node_rejected(self):
+        sim, _ = setup()
+        with pytest.raises(ValueError):
+            sim.univistor.fail_node(99)
+
+    def test_failover_reads_charged_as_bb(self):
+        sim, comm = setup()
+        block = int(256 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        sim.univistor.fail_node(0)
+        system = sim.univistor
+        session = system.session("/f")
+
+        def app():
+            out = yield from system.read_service.read_collective(
+                session, comm, [IORequest(0, 0, block)], comm.name)
+            return out
+
+        _, breakdown = sim.run_to_completion(app())
+        assert breakdown.bb_bytes == block
+        assert breakdown.local_bytes == 0
+
+
+class TestResilienceRequiresBB:
+    def test_missing_bb_rejected(self):
+        spec = MachineSpec.small_test(nodes=1)
+        spec = spec.__class__(**{**spec.__dict__, "burst_buffer": None})
+        sim = Simulation(spec)
+        with pytest.raises(ValueError, match="burst buffer"):
+            sim.install_univistor(UniviStorConfig.dram_only(
+                resilience_enabled=True))

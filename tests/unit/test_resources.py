@@ -1,0 +1,358 @@
+"""Unit tests for Resource, Store and BandwidthResource."""
+
+import math
+
+import pytest
+
+from repro.sim import BandwidthResource, Engine, Resource, SimulationError, Store
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestResource:
+    def test_immediate_grant_under_capacity(self, engine):
+        res = Resource(engine, capacity=2)
+
+        def proc():
+            yield res.request()
+            return engine.now
+
+        assert engine.run_process(proc()) == 0.0
+
+    def test_fifo_queueing(self, engine):
+        res = Resource(engine, capacity=1)
+        order = []
+
+        def worker(tag, hold):
+            yield res.request()
+            yield engine.timeout(hold)
+            order.append((tag, engine.now))
+            res.release()
+
+        for i in range(3):
+            engine.process(worker(i, 2.0))
+        engine.run()
+        assert order == [(0, 2.0), (1, 4.0), (2, 6.0)]
+
+    def test_capacity_two_parallel(self, engine):
+        res = Resource(engine, capacity=2)
+        done = []
+
+        def worker(tag):
+            yield res.request()
+            yield engine.timeout(1.0)
+            done.append((tag, engine.now))
+            res.release()
+
+        for i in range(4):
+            engine.process(worker(i))
+        engine.run()
+        assert done == [(0, 1.0), (1, 1.0), (2, 2.0), (3, 2.0)]
+
+    def test_release_idle_raises(self, engine):
+        res = Resource(engine)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_invalid_capacity(self, engine):
+        with pytest.raises(ValueError):
+            Resource(engine, capacity=0)
+
+    def test_counters(self, engine):
+        res = Resource(engine, capacity=1)
+
+        def holder():
+            yield res.request()
+            yield engine.timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield engine.timeout(1.0)
+            yield res.request()
+            res.release()
+
+        engine.process(holder())
+        engine.process(waiter())
+        engine.run(until=2.0)
+        assert res.in_use == 1
+        assert res.queue_length == 1
+
+
+class TestStore:
+    def test_put_then_get(self, engine):
+        store = Store(engine)
+        store.put("x")
+
+        def proc():
+            item = yield store.get()
+            return item
+
+        assert engine.run_process(proc()) == "x"
+
+    def test_get_blocks_until_put(self, engine):
+        store = Store(engine)
+
+        def consumer():
+            item = yield store.get()
+            return (item, engine.now)
+
+        def producer():
+            yield engine.timeout(5.0)
+            store.put("late")
+
+        engine.process(producer())
+        assert engine.run_process(consumer()) == ("late", 5.0)
+
+    def test_fifo_order(self, engine):
+        store = Store(engine)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        engine.run_process(consumer())
+        assert got == [0, 1, 2]
+
+    def test_len(self, engine):
+        store = Store(engine)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestBandwidthSingleFlow:
+    def test_duration_is_bytes_over_bandwidth(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=100.0)
+
+        def proc():
+            yield pipe.transfer(1000.0)
+            return engine.now
+
+        assert engine.run_process(proc()) == pytest.approx(10.0)
+
+    def test_latency_added_before_transfer(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=100.0, latency=2.0)
+
+        def proc():
+            yield pipe.transfer(1000.0)
+            return engine.now
+
+        assert engine.run_process(proc()) == pytest.approx(12.0)
+
+    def test_zero_bytes_is_pure_latency(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=100.0, latency=3.0)
+
+        def proc():
+            yield pipe.transfer(0.0)
+            return engine.now
+
+        assert engine.run_process(proc()) == pytest.approx(3.0)
+
+    def test_zero_bytes_zero_latency_immediate(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=100.0)
+
+        def proc():
+            yield pipe.transfer(0.0)
+            return engine.now
+
+        assert engine.run_process(proc()) == 0.0
+
+    def test_per_stream_cap_limits_rate(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=1000.0)
+
+        def proc():
+            yield pipe.transfer(100.0, per_stream_cap=10.0)
+            return engine.now
+
+        assert engine.run_process(proc()) == pytest.approx(10.0)
+
+    def test_stream_group_shares_pipe(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=100.0)
+
+        def proc():
+            # 4 streams x 100 B each = 400 B total through a 100 B/s pipe.
+            yield pipe.transfer(100.0, streams=4)
+            return engine.now
+
+        assert engine.run_process(proc()) == pytest.approx(4.0)
+
+    def test_negative_bytes_rejected(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            pipe.transfer(-1.0)
+
+    def test_invalid_bandwidth_rejected(self, engine):
+        with pytest.raises(ValueError):
+            BandwidthResource(engine, bandwidth=0.0)
+
+
+class TestBandwidthSharing:
+    def test_two_equal_flows_halve_rate(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=100.0)
+        finish = {}
+
+        def proc(tag):
+            yield pipe.transfer(500.0)
+            finish[tag] = engine.now
+
+        engine.process(proc("a"))
+        engine.process(proc("b"))
+        engine.run()
+        # Both share 100 B/s -> each gets 50 B/s -> 10 s.
+        assert finish["a"] == pytest.approx(10.0)
+        assert finish["b"] == pytest.approx(10.0)
+
+    def test_late_joiner_slows_first_flow(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=100.0)
+        finish = {}
+
+        def first():
+            yield pipe.transfer(1000.0)
+            finish["first"] = engine.now
+
+        def second():
+            yield engine.timeout(5.0)
+            yield pipe.transfer(250.0)
+            finish["second"] = engine.now
+
+        engine.process(first())
+        engine.process(second())
+        engine.run()
+        # first: 5 s alone (500 B), then shares (50 B/s).  second needs
+        # 250 B at 50 B/s = 5 s -> done at t=10.  first then has 250 B
+        # left at full rate -> 2.5 s -> t=12.5.
+        assert finish["second"] == pytest.approx(10.0)
+        assert finish["first"] == pytest.approx(12.5)
+
+    def test_weighted_flows(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=90.0)
+        finish = {}
+
+        def proc(tag, weight, nbytes):
+            yield pipe.transfer(nbytes, weight=weight)
+            finish[tag] = engine.now
+
+        engine.process(proc("heavy", 2.0, 120.0))
+        engine.process(proc("light", 1.0, 120.0))
+        engine.run()
+        # heavy gets 60 B/s, light 30 B/s -> heavy done at 2 s.
+        assert finish["heavy"] == pytest.approx(2.0)
+        # light then runs alone: 60 B remaining at t=2 -> done at 2+60/90.
+        assert finish["light"] == pytest.approx(2.0 + 60.0 / 90.0)
+
+    def test_caps_leave_bandwidth_for_others(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=100.0)
+        finish = {}
+
+        def capped():
+            yield pipe.transfer(100.0, per_stream_cap=10.0)
+            finish["capped"] = engine.now
+
+        def open_flow():
+            yield pipe.transfer(450.0)
+            finish["open"] = engine.now
+
+        engine.process(capped())
+        engine.process(open_flow())
+        engine.run()
+        # capped runs at 10; open gets the remaining 90 -> 5 s for 450 B.
+        assert finish["open"] == pytest.approx(5.0)
+        assert finish["capped"] == pytest.approx(10.0)
+
+    def test_flow_groups_match_individual_flows(self, engine):
+        # A group of 8 streams must behave exactly like 8 parallel flows.
+        pipe_group = BandwidthResource(engine, bandwidth=64.0)
+        pipe_indiv = BandwidthResource(engine, bandwidth=64.0)
+        finish = {}
+
+        def grouped():
+            yield pipe_group.transfer(8.0, streams=8)
+            finish["group"] = engine.now
+
+        def individual():
+            events = [pipe_indiv.transfer(8.0) for _ in range(8)]
+            yield engine.all_of(events)
+            finish["indiv"] = engine.now
+
+        engine.process(grouped())
+        engine.process(individual())
+        engine.run()
+        assert finish["group"] == pytest.approx(finish["indiv"])
+        assert finish["group"] == pytest.approx(1.0)
+
+    def test_contention_model_scales_goodput(self, engine):
+        def half_speed(resource, flows):
+            return {f: 0.5 for f in flows}
+
+        pipe = BandwidthResource(engine, bandwidth=100.0,
+                                 contention_model=half_speed)
+
+        def proc():
+            yield pipe.transfer(100.0)
+            return engine.now
+
+        assert engine.run_process(proc()) == pytest.approx(2.0)
+
+    def test_contention_model_depends_on_population(self, engine):
+        def crowded(resource, flows):
+            n = sum(f.streams for f in flows)
+            eff = 1.0 / n
+            return {f: eff for f in flows}
+
+        pipe = BandwidthResource(engine, bandwidth=100.0,
+                                 contention_model=crowded)
+        finish = {}
+
+        def proc(tag):
+            yield pipe.transfer(100.0)
+            finish[tag] = engine.now
+
+        engine.process(proc("a"))
+        engine.process(proc("b"))
+        engine.run()
+        # Each gets share 50, eff 0.5 -> 25 B/s -> 4 s.
+        assert finish["a"] == pytest.approx(4.0)
+
+    def test_invalid_efficiency_raises(self, engine):
+        pipe = BandwidthResource(
+            engine, bandwidth=10.0,
+            contention_model=lambda r, fl: {f: 2.0 for f in fl})
+        with pytest.raises(SimulationError):
+            pipe.transfer(10.0)
+
+    def test_accounting_bytes_moved(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=10.0)
+
+        def proc():
+            yield pipe.transfer(30.0, streams=2)
+
+        engine.run_process(proc())
+        assert pipe.bytes_moved == pytest.approx(60.0)
+        assert pipe.busy_time == pytest.approx(6.0)
+        assert pipe.utilisation() == pytest.approx(1.0)
+
+    def test_many_sequential_transfers_accumulate(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=10.0)
+
+        def proc():
+            for _ in range(10):
+                yield pipe.transfer(10.0)
+            return engine.now
+
+        assert engine.run_process(proc()) == pytest.approx(10.0)
+
+    def test_tag_and_meta_attached_to_flow(self, engine):
+        pipe = BandwidthResource(engine, bandwidth=10.0)
+
+        def proc():
+            flow = yield pipe.transfer(10.0, tag="flush", meta={"app": 3})
+            return (flow.tag, flow.meta["app"])
+
+        assert engine.run_process(proc()) == ("flush", 3)

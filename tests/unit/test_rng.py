@@ -1,0 +1,42 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.sim import StreamRNG
+
+
+class TestStreamRNG:
+    def test_same_seed_same_stream(self):
+        a = StreamRNG(5).stream("x").random(10)
+        b = StreamRNG(5).stream("x").random(10)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        rng = StreamRNG(5)
+        a = rng.stream("x").random(10)
+        b = rng.stream("y").random(10)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = StreamRNG(1).stream("x").random(10)
+        b = StreamRNG(2).stream("x").random(10)
+        assert not (a == b).all()
+
+    def test_stream_cached(self):
+        rng = StreamRNG(0)
+        assert rng.stream("x") is rng.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        rng1 = StreamRNG(9)
+        s = rng1.stream("a")
+        first = s.random(5)
+        rng2 = StreamRNG(9)
+        rng2.stream("b").random(100)  # interleaved unrelated consumer
+        second = rng2.stream("a").random(5)
+        assert (first == second).all()
+
+    def test_spawn_deterministic_and_independent(self):
+        child1 = StreamRNG(3).spawn("node0")
+        child2 = StreamRNG(3).spawn("node0")
+        other = StreamRNG(3).spawn("node1")
+        a = child1.stream("s").random(5)
+        assert (a == child2.stream("s").random(5)).all()
+        assert not (a == other.stream("s").random(5)).all()

@@ -1,0 +1,72 @@
+"""Tests for the figure-report generator (repro.experiments.runall)."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.runall import FIGURES, band, main, table_to_json
+from repro.analysis.report import Table
+
+
+class TestFigureRegistry:
+    def test_all_ten_figures_registered(self):
+        ids = [fig_id for fig_id, _r, _c in FIGURES]
+        assert ids == ["fig5a", "fig5b", "fig5c", "fig6a", "fig6b",
+                       "fig6c", "fig7", "fig8", "fig9", "fig10"]
+
+    def test_every_figure_has_checks(self):
+        for fig_id, _runner, checks in FIGURES:
+            assert checks, f"{fig_id} has no ratio checks"
+            for num, den, _inv, paper in checks:
+                assert isinstance(paper, str) and "x" in paper
+
+
+class TestBandHelper:
+    def test_band(self):
+        t = Table(title="t", xlabel="x", ylabel="y")
+        t.add(1, "A", 10.0)
+        t.add(1, "B", 5.0)
+        t.add(2, "A", 30.0)
+        t.add(2, "B", 10.0)
+        lo, mean, hi = band(t, "A", "B")
+        assert (lo, hi) == (2.0, 3.0)
+        assert mean == pytest.approx(2.5)
+
+    def test_band_missing_series(self):
+        t = Table(title="t", xlabel="x", ylabel="y")
+        t.add(1, "A", 10.0)
+        assert band(t, "A", "nope") is None
+
+
+class TestTableJson:
+    def test_roundtrippable(self):
+        t = Table(title="t", xlabel="procs", ylabel="rate")
+        t.add(64, "A", 1.5)
+        d = table_to_json(t)
+        assert d["rows"]["64"]["A"] == 1.5
+        json.dumps(d)  # serialisable
+
+
+class TestMainEndToEnd:
+    def test_single_figure_small_sweep(self, tmp_path, capsys,
+                                       monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP", "64")
+        rc = main(["--out", str(tmp_path), "--only", "fig6a"])
+        assert rc == 0
+        data = json.loads((tmp_path / "fig6a.json").read_text())
+        assert "UniviStor/DRAM" in data["series"]
+        assert "64" in data["rows"]
+        summary = (tmp_path / "summary.md").read_text()
+        assert "fig6a" in summary
+        assert "UniviStor/DRAM vs DE" in summary
+        out = capsys.readouterr().out
+        assert "== fig6a" in out
+
+    def test_sweep_flag_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP", "paper")  # would be slow
+        rc = main(["--out", str(tmp_path), "--only", "fig6a",
+                   "--sweep", "64"])
+        assert rc == 0
+        data = json.loads((tmp_path / "fig6a.json").read_text())
+        assert list(data["rows"]) == ["64"]

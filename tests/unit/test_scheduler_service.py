@@ -1,0 +1,104 @@
+"""Unit tests for the interference-aware scheduler service (§II-C)."""
+
+import pytest
+
+from repro.cluster.cpu import PlacementPolicy
+from repro.cluster.spec import MachineSpec
+from repro.cluster.topology import Machine
+from repro.core.config import UniviStorConfig
+from repro.core.scheduler import SchedulerService
+from repro.sim import Engine
+
+
+def make(interference_aware=True, nodes=2):
+    machine = Machine(Engine(), MachineSpec.cori_haswell(nodes=nodes))
+    machine.register_program("uv-server", nodes * 2, kind="server",
+                             procs_per_node=2)
+    machine.register_program("app", nodes * 32, kind="client",
+                             procs_per_node=32)
+    config = UniviStorConfig()
+    if not interference_aware:
+        config = config.without("interference_aware")
+    return machine, SchedulerService(machine, config, "uv-server")
+
+
+class TestPolicySelection:
+    def test_ia_config_uses_ia_policy(self):
+        _, sched = make(True)
+        assert sched.policy is PlacementPolicy.INTERFERENCE_AWARE
+
+    def test_cfs_config_uses_cfs_policy(self):
+        _, sched = make(False)
+        assert sched.policy is PlacementPolicy.CFS
+
+
+class TestEfficiencies:
+    def test_ia_write_efficiency_high(self):
+        machine, sched = make(True)
+        eff = sched.client_efficiency(machine.nodes[0], "app", "write")
+        assert eff > 0.9
+
+    def test_cfs_write_efficiency_lower(self):
+        machine, sched = make(False)
+        eff = sched.client_efficiency(machine.nodes[0], "app", "write")
+        assert eff < 0.8
+
+    def test_read_less_sensitive_than_write(self):
+        machine, sched = make(False)
+        w = sched.client_efficiency(machine.nodes[0], "app", "write")
+        r = sched.client_efficiency(machine.nodes[0], "app", "read")
+        assert r >= w
+
+    def test_unknown_op_rejected(self):
+        machine, sched = make(True)
+        with pytest.raises(KeyError):
+            sched.client_efficiency(machine.nodes[0], "app", "teleport")
+
+    def test_efficiency_cached(self):
+        machine, sched = make(False)
+        a = sched.client_efficiency(machine.nodes[0], "app", "write")
+        b = sched.client_efficiency(machine.nodes[0], "app", "write")
+        assert a == b
+
+    def test_mean_flush_efficiency_bounds(self):
+        _, sched = make(True)
+        assert 0.0 < sched.mean_flush_efficiency() <= 1.0
+
+
+class TestFlushMigration:
+    def test_begin_flush_toggles_machine_state(self):
+        machine, sched = make(True)
+        sched.begin_flush()
+        assert machine.nodes[0].flush_active
+        sched.end_flush()
+        assert not machine.nodes[0].flush_active
+
+    def test_flush_is_refcounted(self):
+        machine, sched = make(True)
+        sched.begin_flush()
+        sched.begin_flush()
+        sched.end_flush()
+        assert machine.nodes[0].flush_active, "still one flush outstanding"
+        sched.end_flush()
+        assert not machine.nodes[0].flush_active
+
+    def test_end_without_begin_raises(self):
+        _, sched = make(True)
+        with pytest.raises(RuntimeError):
+            sched.end_flush()
+
+    def test_cfs_never_migrates(self):
+        machine, sched = make(False)
+        sched.begin_flush()
+        # Under CFS the toggle is a no-op: placements don't react.
+        assert not machine.nodes[0].flush_active
+        sched.end_flush()
+
+    def test_ia_flush_efficiency_improves_with_migration(self):
+        machine, sched_ia = make(True)
+        machine2, sched_cfs = make(False)
+        sched_ia.begin_flush()
+        ia = sched_ia.mean_flush_efficiency()
+        sched_ia.end_flush()
+        cfs = sched_cfs.mean_flush_efficiency()
+        assert ia > cfs, "IA migration must free the flushing servers"

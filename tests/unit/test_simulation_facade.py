@@ -1,0 +1,96 @@
+"""Tests for the Simulation facade."""
+
+import pytest
+
+from repro import (
+    IORequest,
+    MachineSpec,
+    PatternPayload,
+    Simulation,
+    UniviStorConfig,
+)
+
+
+class TestInstallation:
+    def test_double_univistor_rejected(self):
+        sim = Simulation(MachineSpec.small_test(nodes=1))
+        sim.install_univistor(UniviStorConfig.dram_only())
+        with pytest.raises(RuntimeError):
+            sim.install_univistor(UniviStorConfig.dram_only())
+
+    def test_double_data_elevator_rejected(self):
+        sim = Simulation(MachineSpec.small_test(nodes=1))
+        sim.install_data_elevator()
+        with pytest.raises(RuntimeError):
+            sim.install_data_elevator()
+
+    def test_all_three_coexist(self):
+        sim = Simulation(MachineSpec.small_test(nodes=1))
+        sim.install_univistor(UniviStorConfig.dram_only())
+        sim.install_data_elevator()
+        sim.install_lustre()
+        assert sim.registry.names() == ["data_elevator", "lustre",
+                                        "univistor"]
+
+    def test_telemetry_attached_to_univistor(self):
+        sim = Simulation(MachineSpec.small_test(nodes=1))
+        system = sim.install_univistor(UniviStorConfig.dram_only())
+        assert system.telemetry is sim.telemetry
+
+
+class TestFstypeForce:
+    def test_force_redirects_all_opens(self):
+        sim = Simulation(MachineSpec.small_test(nodes=1))
+        sim.install_univistor(UniviStorConfig.dram_only(
+            flush_enabled=False))
+        sim.install_lustre()
+        sim.force_fstype("univistor")
+        comm = sim.comm("app", 2, procs_per_node=2)
+
+        def app():
+            # Asks for lustre, gets univistor (ROMIO_FSTYPE_FORCE).
+            fh = yield from sim.open(comm, "/f", "w", fstype="lustre")
+            yield from fh.write_at_all([
+                IORequest(0, 0, 1024, PatternPayload(1))])
+            yield from fh.close()
+            return fh.driver.name
+
+        assert sim.run_to_completion(app()) == "univistor"
+        assert not sim.machine.pfs_files.exists("/f")
+
+    def test_force_reset(self):
+        sim = Simulation(MachineSpec.small_test(nodes=1))
+        sim.install_lustre()
+        sim.force_fstype("lustre")
+        sim.force_fstype(None)
+        with pytest.raises(KeyError):
+            sim.registry.resolve(None)
+
+
+class TestRunHelpers:
+    def test_now_tracks_engine(self):
+        sim = Simulation(MachineSpec.small_test(nodes=1))
+        assert sim.now == 0.0
+        sim.run(until=3.5)
+        assert sim.now == 3.5
+
+    def test_spawn_returns_joinable_process(self):
+        sim = Simulation(MachineSpec.small_test(nodes=1))
+
+        def work():
+            yield sim.engine.timeout(1.0)
+            return "done"
+
+        proc = sim.spawn(work(), name="w")
+        sim.run()
+        assert proc.value == "done"
+
+    def test_open_without_driver_raises(self):
+        sim = Simulation(MachineSpec.small_test(nodes=1))
+        comm = sim.comm("app", 2, procs_per_node=2)
+
+        def app():
+            yield from sim.open(comm, "/f", "w", fstype="univistor")
+
+        with pytest.raises(KeyError):
+            sim.run_to_completion(app())

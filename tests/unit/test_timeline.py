@@ -1,0 +1,111 @@
+"""Tests for the telemetry timeline tool — including structural overlap
+assertions on a real workflow run."""
+
+import pytest
+
+from repro import MachineSpec, Simulation, UniviStorConfig
+from repro.analysis.metrics import Telemetry
+from repro.analysis.timeline import Lane, build_timeline
+from repro.sim import Engine
+from repro.workloads import BdCatsIO, VpicIO
+
+
+def synthetic_telemetry():
+    engine = Engine()
+    tel = Telemetry(engine)
+    intervals = [("a", "write", 0.0, 2.0), ("a", "write", 4.0, 6.0),
+                 ("a", "flush", 2.0, 5.0), ("b", "read", 1.0, 3.0)]
+    # Telemetry stamps t_end with the engine clock: replay in end order.
+    for app, op, t0, t1 in sorted(intervals, key=lambda iv: iv[3]):
+        engine.run(until=t1)
+        tel.record(app=app, op=op, path="/f", t_start=t0)
+    return tel
+
+
+class TestLane:
+    def test_busy_time(self):
+        lane = Lane("a", "write", [(0, 2), (4, 6)])
+        assert lane.busy_time == 4.0
+
+    def test_overlap_computation(self):
+        a = Lane("a", "write", [(0, 2), (4, 6)])
+        b = Lane("b", "read", [(1, 5)])
+        assert a.overlaps(b) == pytest.approx(2.0)  # [1,2) + [4,5)
+        assert b.overlaps(a) == pytest.approx(2.0)
+
+    def test_disjoint_lanes_no_overlap(self):
+        a = Lane("a", "write", [(0, 1)])
+        b = Lane("b", "read", [(2, 3)])
+        assert a.overlaps(b) == 0.0
+
+
+class TestBuildTimeline:
+    def test_lanes_grouped_by_app_op(self):
+        tl = build_timeline(synthetic_telemetry())
+        assert {(l.app, l.op) for l in tl.lanes} == {
+            ("a", "write"), ("a", "flush"), ("b", "read")}
+        assert tl.lane("a", "write").intervals == [(0.0, 2.0), (4.0, 6.0)]
+
+    def test_horizon(self):
+        tl = build_timeline(synthetic_telemetry())
+        assert tl.t_end == 6.0
+
+    def test_filters(self):
+        tel = synthetic_telemetry()
+        tl = build_timeline(tel, ops=["write"])
+        assert [l.op for l in tl.lanes] == ["write"]
+        tl = build_timeline(tel, apps=["b"])
+        assert [l.app for l in tl.lanes] == ["b"]
+
+    def test_unknown_lane_raises(self):
+        tl = build_timeline(synthetic_telemetry())
+        with pytest.raises(KeyError):
+            tl.lane("z", "write")
+
+    def test_render_contains_lanes_and_glyphs(self):
+        tl = build_timeline(synthetic_telemetry())
+        out = tl.render(width=40)
+        assert "a/write" in out
+        assert "#" in out and "=" in out and "+" in out
+
+    def test_render_empty(self):
+        engine = Engine()
+        tl = build_timeline(Telemetry(engine))
+        assert tl.render() == "(empty timeline)"
+
+
+class TestWorkflowOverlapStructure:
+    def run_workflow(self, overlap):
+        sim = Simulation(MachineSpec.cori_haswell(nodes=2))
+        sim.install_univistor(
+            UniviStorConfig.dram_only(workflow_enabled=overlap))
+        wcomm = sim.comm("vpic", 32, procs_per_node=16)
+        rcomm = sim.comm("bdcats", 32, procs_per_node=16)
+        vpic = VpicIO(sim, wcomm, "univistor", steps=3, compute_seconds=0,
+                      particles_per_proc=2 * 2 ** 20)
+        bdcats = BdCatsIO(sim, rcomm, vpic, "univistor")
+        if overlap:
+            w = sim.spawn(vpic.run(sync_last=False), name="w")
+            r = sim.spawn(bdcats.run(), name="r")
+            sim.run()
+            assert w.ok and r.ok
+        else:
+            def seq():
+                yield from vpic.run(sync_last=False)
+                yield from bdcats.run()
+
+            sim.run_to_completion(seq())
+        return build_timeline(sim.telemetry, ops=["write", "read"])
+
+    def test_overlap_mode_interleaves_reads_and_writes(self):
+        tl = self.run_workflow(overlap=True)
+        writes = tl.lane("vpic", "write")
+        reads = tl.lane("bdcats", "read")
+        assert writes.overlaps(reads) > 0, \
+            "workflow overlap should interleave producer and consumer"
+
+    def test_sequential_mode_never_interleaves(self):
+        tl = self.run_workflow(overlap=False)
+        writes = tl.lane("vpic", "write")
+        reads = tl.lane("bdcats", "read")
+        assert writes.overlaps(reads) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,51 @@
+"""Tests for unit helpers and formatting."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    GiB,
+    KiB,
+    MB,
+    MiB,
+    TiB,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+)
+
+
+class TestConstants:
+    def test_binary_units(self):
+        assert KiB == 1024
+        assert MiB == 1024 ** 2
+        assert GiB == 1024 ** 3
+        assert TiB == 1024 ** 4
+
+    def test_decimal_units(self):
+        assert MB == 1e6
+        assert GB == 1e9
+
+    def test_paper_size_arithmetic(self):
+        # 8 props x 8 Mi particles x 4 B = 256 MiB (§III-A).
+        assert 8 * (8 * 2 ** 20) * 4 == 256 * MiB
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512.00 B"
+        assert fmt_bytes(2 * MiB) == "2.00 MiB"
+        assert fmt_bytes(3.5 * GiB) == "3.50 GiB"
+        assert fmt_bytes(5 * TiB) == "5.00 TiB"
+        assert fmt_bytes(9000 * TiB) == "9000.00 TiB"
+
+    def test_fmt_rate(self):
+        assert fmt_rate(500.0) == "500.00 B/s"
+        assert fmt_rate(3e9) == "3.00 GB/s"
+        assert fmt_rate(1.5e12) == "1.50 TB/s"
+
+    def test_fmt_time(self):
+        assert fmt_time(5e-6) == "5.0 us"
+        assert fmt_time(0.25) == "250.0 ms"
+        assert fmt_time(42.0) == "42.00 s"
+        assert fmt_time(600.0) == "10.0 min"

@@ -1,0 +1,126 @@
+"""Tests for utilisation reporting and the CLI."""
+
+import pytest
+
+from repro import (
+    IORequest,
+    MachineSpec,
+    PatternPayload,
+    Simulation,
+    UniviStorConfig,
+)
+from repro.analysis.utilisation import machine_utilisation
+from repro.cli import build_parser, main
+from repro.units import KiB, MiB
+
+
+def run_small_job():
+    sim = Simulation(MachineSpec.small_test(nodes=2))
+    sim.install_univistor(UniviStorConfig.dram_only())
+    comm = sim.comm("app", 4, procs_per_node=2)
+
+    def app():
+        fh = yield from sim.open(comm, "/f", "w", fstype="univistor")
+        yield from fh.write_at_all([
+            IORequest.contiguous_block(r, int(1 * MiB), PatternPayload(r))
+            for r in range(4)])
+        yield from fh.close()
+        yield from fh.sync()
+
+    sim.run_to_completion(app())
+    return sim
+
+
+class TestUtilisation:
+    def test_report_contains_active_resources(self):
+        sim = run_small_job()
+        report = machine_utilisation(sim.machine)
+        names = [r.name for r in report.resources]
+        assert "node-dram" in names
+        assert "lustre" in names
+
+    def test_bytes_accounted(self):
+        sim = run_small_job()
+        report = machine_utilisation(sim.machine)
+        dram = report.by_name("node-dram")
+        assert dram.bytes_moved == pytest.approx(4 * MiB, rel=0.01)
+        lustre = report.by_name("lustre")
+        assert lustre.bytes_moved == pytest.approx(4 * MiB, rel=0.01)
+
+    def test_sorted_busiest_first(self):
+        sim = run_small_job()
+        report = machine_utilisation(sim.machine)
+        moved = [r.bytes_moved for r in report.resources]
+        assert moved == sorted(moved, reverse=True)
+
+    def test_utilisation_bounded(self):
+        sim = run_small_job()
+        report = machine_utilisation(sim.machine)
+        for r in report.resources:
+            assert 0.0 <= r.utilisation <= 1.0 + 1e-9
+
+    def test_markdown_rendering(self):
+        sim = run_small_job()
+        md = machine_utilisation(sim.machine).to_markdown(top=3)
+        assert md.startswith("| resource |")
+        assert "node-dram" in md
+
+    def test_unknown_resource_raises(self):
+        sim = run_small_job()
+        with pytest.raises(KeyError):
+            machine_utilisation(sim.machine).by_name("warp-core")
+
+    def test_idle_machine_empty_report(self):
+        sim = Simulation(MachineSpec.small_test(nodes=1))
+        report = machine_utilisation(sim.machine)
+        assert report.resources == []
+        assert report.busiest() is None
+
+    def test_per_node_detail_mode(self):
+        sim = run_small_job()
+        report = machine_utilisation(sim.machine, aggregate_nodes=False)
+        names = [r.name for r in report.resources]
+        assert any(n.startswith("node0.dram") for n in names)
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        for cmd in ("machine", "micro", "vpic", "workflow", "figures"):
+            args = parser.parse_args([cmd] if cmd != "micro"
+                                     else [cmd, "--procs", "64"])
+            assert args.command == cmd
+
+    def test_machine_command(self, capsys):
+        assert main(["machine", "--preset", "cori", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "248 OSTs" in out
+        assert "2 NUMA sockets" in out
+
+    def test_machine_summit_shows_ssd(self, capsys):
+        main(["machine", "--preset", "summit"])
+        assert "node-local SSD" in capsys.readouterr().out
+
+    def test_micro_command(self, capsys):
+        rc = main(["micro", "--procs", "64", "--system", "UniviStor/DRAM",
+                   "--mb-per-proc", "16", "--read", "--sync"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "write:" in out
+        assert "verified" in out
+
+    def test_micro_rejects_bad_system(self):
+        with pytest.raises(SystemExit):
+            main(["micro", "--procs", "64", "--system", "FTL-drive"])
+
+    def test_vpic_command(self, capsys):
+        rc = main(["vpic", "--procs", "64", "--system", "Lustre",
+                   "--steps", "1", "--compute", "0"])
+        assert rc == 0
+        assert "measured I/O time" in capsys.readouterr().out
+
+    def test_workflow_command(self, capsys):
+        rc = main(["workflow", "--procs", "64", "--system",
+                   "UniviStor/DRAM", "--steps", "1", "--overlap"])
+        assert rc == 0
+        assert "verified" in capsys.readouterr().out

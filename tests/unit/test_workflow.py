@@ -1,0 +1,232 @@
+"""Unit tests for the lightweight workflow manager (§II-E)."""
+
+import pytest
+
+from repro.core.workflow import FileState, WorkflowManager
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def wf(engine):
+    return WorkflowManager(engine)
+
+
+class TestBasicTransitions:
+    def test_initial_state_idle(self, wf):
+        assert wf.state_of("/f") is FileState.IDLE
+
+    def test_write_cycle(self, engine, wf):
+        def writer():
+            yield from wf.acquire_write("/f")
+            assert wf.state_of("/f") is FileState.WRITING
+            yield engine.timeout(1.0)
+            wf.release_write("/f")
+
+        engine.run_process(writer())
+        assert wf.state_of("/f") is FileState.WRITE_DONE
+
+    def test_read_cycle(self, engine, wf):
+        def reader():
+            yield from wf.acquire_read("/f")
+            assert wf.state_of("/f") is FileState.READING
+            yield engine.timeout(1.0)
+            wf.release_read("/f")
+
+        engine.run_process(reader())
+        assert wf.state_of("/f") is FileState.READ_DONE
+
+    def test_flush_cycle(self, engine, wf):
+        wf.begin_flush("/f")
+        assert wf.state_of("/f") is FileState.FLUSHING
+        wf.end_flush("/f")
+        assert wf.state_of("/f") is FileState.FLUSH_DONE
+
+    def test_release_without_acquire_raises(self, wf):
+        with pytest.raises(RuntimeError):
+            wf.release_write("/f")
+        with pytest.raises(RuntimeError):
+            wf.release_read("/f")
+        with pytest.raises(RuntimeError):
+            wf.end_flush("/f")
+
+
+class TestConflicts:
+    def test_reader_waits_for_writer(self, engine, wf):
+        trace = []
+
+        def writer():
+            yield from wf.acquire_write("/f")
+            yield engine.timeout(5.0)
+            trace.append(("w-done", engine.now))
+            wf.release_write("/f")
+
+        def reader():
+            yield engine.timeout(1.0)  # arrive mid-write
+            yield from wf.acquire_read("/f")
+            trace.append(("r-acquired", engine.now))
+            wf.release_read("/f")
+
+        engine.process(writer())
+        engine.process(reader())
+        engine.run()
+        assert trace == [("w-done", 5.0), ("r-acquired", 5.0)]
+
+    def test_writer_waits_for_reader(self, engine, wf):
+        trace = []
+
+        def reader():
+            yield from wf.acquire_read("/f")
+            yield engine.timeout(3.0)
+            wf.release_read("/f")
+            trace.append(("r-done", engine.now))
+
+        def writer():
+            yield engine.timeout(1.0)
+            yield from wf.acquire_write("/f")
+            trace.append(("w-acquired", engine.now))
+            wf.release_write("/f")
+
+        engine.process(reader())
+        engine.process(writer())
+        engine.run()
+        assert trace == [("r-done", 3.0), ("w-acquired", 3.0)]
+
+    def test_writer_waits_for_writer(self, engine, wf):
+        order = []
+
+        def writer(tag, start):
+            yield engine.timeout(start)
+            yield from wf.acquire_write("/f")
+            order.append((tag, engine.now))
+            yield engine.timeout(2.0)
+            wf.release_write("/f")
+
+        engine.process(writer("a", 0.0))
+        engine.process(writer("b", 1.0))
+        engine.run()
+        assert order == [("a", 0.0), ("b", 2.0)]
+
+    def test_concurrent_readers_admitted(self, engine, wf):
+        acquired = []
+
+        def reader(tag):
+            yield from wf.acquire_read("/f")
+            acquired.append((tag, engine.now))
+            yield engine.timeout(2.0)
+            wf.release_read("/f")
+
+        for tag in ("a", "b", "c"):
+            engine.process(reader(tag))
+        engine.run()
+        assert [t for _tag, t in acquired] == [0.0, 0.0, 0.0]
+
+    def test_writer_waits_for_flush(self, engine, wf):
+        trace = []
+        wf.begin_flush("/f")
+
+        def writer():
+            yield from wf.acquire_write("/f")
+            trace.append(("w", engine.now))
+            wf.release_write("/f")
+
+        def flusher():
+            yield engine.timeout(4.0)
+            wf.end_flush("/f")
+
+        engine.process(writer())
+        engine.process(flusher())
+        engine.run()
+        assert trace == [("w", 4.0)]
+
+    def test_reader_not_blocked_by_flush(self, engine, wf):
+        wf.begin_flush("/f")
+
+        def reader():
+            yield from wf.acquire_read("/f")
+            return engine.now
+
+        assert engine.run_process(reader()) == 0.0
+        wf.end_flush("/f")
+
+    def test_flush_during_writer_rejected(self, engine, wf):
+        def writer():
+            yield from wf.acquire_write("/f")
+
+        engine.run_process(writer())
+        with pytest.raises(RuntimeError):
+            wf.begin_flush("/f")
+
+    def test_files_are_independent(self, engine, wf):
+        def writer_a():
+            yield from wf.acquire_write("/a")
+            yield engine.timeout(10.0)
+            wf.release_write("/a")
+
+        def writer_b():
+            yield from wf.acquire_write("/b")
+            return engine.now
+
+        engine.process(writer_a())
+        assert engine.run_process(writer_b()) == 0.0
+
+
+class TestInvariantsAndHistory:
+    def test_invariants_hold_through_contention(self, engine, wf):
+        def writer(start):
+            yield engine.timeout(start)
+            yield from wf.acquire_write("/f")
+            wf.check_invariants()
+            yield engine.timeout(1.0)
+            wf.release_write("/f")
+
+        def reader(start):
+            yield engine.timeout(start)
+            yield from wf.acquire_read("/f")
+            wf.check_invariants()
+            yield engine.timeout(0.5)
+            wf.release_read("/f")
+
+        for s in (0.0, 0.2, 0.7, 1.5):
+            engine.process(writer(s))
+            engine.process(reader(s + 0.1))
+        engine.run()
+        wf.check_invariants()
+
+    def test_history_records_transitions(self, engine, wf):
+        def writer():
+            yield from wf.acquire_write("/f")
+            yield engine.timeout(1.0)
+            wf.release_write("/f")
+
+        engine.run_process(writer())
+        states = [s for s, _t in wf.history_of("/f")]
+        assert states == [FileState.WRITING, FileState.WRITE_DONE]
+
+    def test_paper_sequence_write_flush_read(self, engine, wf):
+        """The intended §II-E pipeline: WRITING -> WRITE_DONE -> FLUSHING
+        (overlapping READING) -> READ_DONE / FLUSH_DONE."""
+        def producer():
+            yield from wf.acquire_write("/f")
+            yield engine.timeout(2.0)
+            wf.release_write("/f")
+            wf.begin_flush("/f")      # server-side flush kicks off
+            yield engine.timeout(5.0)
+            wf.end_flush("/f")
+
+        def consumer():
+            yield engine.timeout(1.0)  # arrives while writing
+            yield from wf.acquire_read("/f")
+            acquired = engine.now
+            yield engine.timeout(1.0)
+            wf.release_read("/f")
+            return acquired
+
+        engine.process(producer())
+        p = engine.process(consumer())
+        engine.run()
+        assert p.value == 2.0  # read admitted right at write release
