@@ -9,6 +9,13 @@ mechanism — asynchronous replication of volatile segments to the shared
 burst buffer at close time — and this example kills a node to show the
 difference.
 
+A second scenario drives the same failure through the deterministic
+:class:`~repro.sim.faults.FaultInjector`: a *scheduled* full node crash
+(storage loss plus both server processes) together with a straggling
+Lustre OST pool, against a configuration hardened with metadata
+replication and bounded I/O retries.  The recovery telemetry — metadata
+failovers, re-replication, retries — is printed at the end.
+
 Run:  python examples/node_failure_resilience.py
 """
 
@@ -20,6 +27,7 @@ from repro import (
     UniviStorConfig,
 )
 from repro.core.resilience import DataLossError
+from repro.sim.faults import Fault, FaultSpec
 from repro.units import MiB
 
 RANKS = 64
@@ -66,11 +74,70 @@ def run(resilient: bool) -> str:
     return outcome
 
 
+def run_injected() -> None:
+    """The same failure driven by the seeded FaultInjector: a scheduled
+    full node crash plus a slow-OST straggler, survived by metadata
+    replication + BB replicas + bounded retries."""
+    sim = Simulation(MachineSpec.cori_haswell(nodes=2))
+    sim.install_univistor(UniviStorConfig.dram_only(
+        resilience_enabled=True, flush_enabled=False,
+        metadata_replication=2, io_retry_limit=3))
+    comm = sim.comm("app", RANKS)
+
+    def scenario():
+        fh = yield from sim.open(comm, "/pfs/ckpt.h5", "w",
+                                 fstype="univistor")
+        yield from fh.write_at_all([
+            IORequest.contiguous_block(r, BLOCK, PatternPayload(r))
+            for r in range(RANKS)])
+        yield from fh.close()
+        yield from fh.sync()
+        # Schedule the faults now that replication has landed: node 0
+        # crashes outright (storage + its two metadata servers) while
+        # the PFS limps along at a quarter of its bandwidth.
+        sim.install_faults(FaultSpec(events=(
+            Fault(at=sim.now, kind="node-crash", target=0),
+            Fault(at=sim.now, kind="device-degrade", tier="pfs",
+                  factor=0.25, duration=120.0),
+        )))
+        yield sim.engine.timeout(1e-6)  # let them fire
+
+        fh2 = yield from sim.open(comm, "/pfs/ckpt.h5", "r",
+                                  fstype="univistor")
+        data = yield from fh2.read_at_all([
+            IORequest(r, r * BLOCK, BLOCK) for r in range(RANKS)])
+        yield from fh2.close()
+        ext = data[0][0]
+        got = ext.payload.materialize(ext.payload_offset, 4096)
+        assert got == PatternPayload(0).materialize(0, 4096)
+        return "all reads correct despite node crash + degraded PFS"
+
+    outcome = sim.run_to_completion(scenario())
+    print(f"fault injection: {outcome}")
+    interesting = ("fault-node-crash", "fault-server-crash",
+                   "fault-node-storage-lost", "fault-device-degrade",
+                   "metadata-failover", "re-replicate", "io-retry",
+                   "replicate")
+    rows = [r for r in sim.telemetry.records if r.op in interesting]
+    print(f"recovery telemetry ({len(rows)} events):")
+    failovers = 0
+    for r in rows:
+        if r.op == "metadata-failover":
+            failovers += 1
+            continue
+        print(f"  t={r.t_end:8.3f}s {r.op:<24s} {r.path}")
+    if failovers:
+        print(f"  t={rows[-1].t_end:8.3f}s metadata-failover        "
+              f"{failovers} lookups served by replicas of the dead "
+              "servers")
+
+
 def main() -> None:
     print(f"{RANKS} ranks cache {RANKS * BLOCK // int(MiB)} MiB in "
           "node-local DRAM, then node 0 fails:\n")
     print(f"resilience OFF: {run(resilient=False)}\n")
-    print(f"resilience ON:  {run(resilient=True)}")
+    print(f"resilience ON:  {run(resilient=True)}\n")
+    run_injected()
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 __all__ = ["Table", "fmt_markdown_table"]
 

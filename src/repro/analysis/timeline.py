@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.metrics import OpRecord, Telemetry
+from repro.analysis.metrics import Telemetry
 
 __all__ = ["Lane", "Timeline", "build_timeline"]
 

@@ -28,7 +28,8 @@ from repro.experiments.common import (
     build_simulation,
     io_rate,
 )
-from repro.units import GiB, MiB, fmt_bytes, fmt_rate, fmt_time
+from repro.sim.faults import FaultSpec
+from repro.units import MiB, fmt_bytes, fmt_rate, fmt_time
 from repro.workloads import MicroBench, VpicIO
 
 __all__ = ["main"]
@@ -72,8 +73,39 @@ def cmd_machine(args) -> int:
     return 0
 
 
+def _install_faults(sim, args) -> None:
+    """Arm the --fault-spec campaign (UniviStor systems only)."""
+    if not getattr(args, "fault_spec", None):
+        return
+    if sim.univistor is None:
+        raise SystemExit(
+            "--fault-spec needs a UniviStor system (faults target its "
+            "crash/degrade hooks)")
+    injector = sim.install_faults(FaultSpec.parse(args.fault_spec),
+                                  seed=args.fault_seed)
+    print(f"fault timeline ({len(injector.timeline)} events, "
+          f"seed {args.fault_seed}):")
+    for fault in injector.timeline:
+        print(f"  t={fault.at:g}s {fault.describe()}")
+
+
+def _print_fault_report(sim) -> None:
+    if sim.fault_injector is None:
+        return
+    ops = ("fault-node-crash", "fault-server-crash", "fault-node-storage-lost",
+           "fault-device-degrade", "fault-device-fail", "fault-write-errors",
+           "fault-net-degrade", "fault-net-delay", "fault-restore",
+           "metadata-failover", "re-replicate", "io-retry",
+           "replicate-lost", "flush-lost")
+    rows = [r for r in sim.telemetry.records if r.op in ops]
+    print(f"\nfault/recovery telemetry ({len(rows)} events):")
+    for r in rows:
+        print(f"  t={r.t_end:8.3f}s {r.op:<24s} {r.path}")
+
+
 def cmd_micro(args) -> int:
     sim, fstype = build_simulation(args.procs, args.system)
+    _install_faults(sim, args)
     comm = sim.comm("iobench", size=args.procs)
     bench = MicroBench(sim, comm, "/pfs/micro.h5", fstype,
                        bytes_per_proc=args.mb_per_proc * MiB)
@@ -100,11 +132,13 @@ def cmd_micro(args) -> int:
     if args.utilisation:
         print("\nutilisation:")
         print(machine_utilisation(sim.machine).to_markdown(top=8))
+    _print_fault_report(sim)
     return 0
 
 
 def cmd_vpic(args) -> int:
     sim, fstype = build_simulation(args.procs, args.system)
+    _install_faults(sim, args)
     comm = sim.comm("vpic", size=args.procs)
     vpic = VpicIO(sim, comm, fstype, steps=args.steps,
                   compute_seconds=args.compute)
@@ -118,6 +152,7 @@ def cmd_vpic(args) -> int:
         print("\ntimeline:")
         print(build_timeline(sim.telemetry,
                              ops=["write", "flush", "flush-wait"]).render())
+    _print_fault_report(sim)
     return 0
 
 
@@ -143,6 +178,16 @@ def cmd_figures(args) -> int:
     return runall_main(forwarded)
 
 
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fault-spec", default=None, metavar="SPEC",
+        help="inject faults, e.g. 'node-crash@120:node=0;"
+             "device-degrade@60:tier=pfs,factor=0.25,duration=300' or "
+             "'random:node_crash_rate=0.001,horizon=600'")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for probabilistic fault timelines")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="UniviStor reproduction toolkit")
@@ -161,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sync", action="store_true",
                    help="wait for the flush and report its rate")
     p.add_argument("--utilisation", action="store_true")
+    _add_fault_args(p)
     p.set_defaults(fn=cmd_micro)
 
     p = sub.add_parser("vpic", help="run the VPIC-IO kernel (§III-C)")
@@ -170,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compute", type=float, default=60.0)
     p.add_argument("--timeline", action="store_true",
                    help="render an ASCII Gantt of writes vs flushes")
+    _add_fault_args(p)
     p.set_defaults(fn=cmd_vpic)
 
     p = sub.add_parser("workflow",

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.units import GB, GiB, MB, MiB, TiB, USEC
+from repro.units import GB, GiB, MiB, TiB, USEC
 
 __all__ = [
     "NodeSpec",
@@ -66,7 +66,7 @@ class NodeSpec:
         if self.cores < 1:
             raise ValueError(f"cores must be >= 1, got {self.cores}")
         if self.numa_sockets < 1:
-            raise ValueError(f"numa_sockets must be >= 1")
+            raise ValueError("numa_sockets must be >= 1")
         if self.cores % self.numa_sockets != 0:
             raise ValueError(
                 f"cores ({self.cores}) not divisible by sockets "

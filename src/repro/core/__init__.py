@@ -21,7 +21,13 @@ Subpackage map (paper section in parentheses):
 from repro.core.config import StorageTier, UniviStorConfig
 from repro.core.va import VirtualAddressSpace
 from repro.core.dhp import Chunk, DHPWriter, LogFile, PlacedSegment
-from repro.core.metadata import MetadataRecord, MetadataService
+from repro.core.metadata import (
+    MetadataRecord,
+    MetadataService,
+    MetadataUnavailableError,
+)
+from repro.core.resilience import DataLossError
+from repro.core.retry import IOTimeoutError
 from repro.core.striping import StripingPlan, adaptive_plan, default_plan
 from repro.core.workflow import FileState, WorkflowManager
 from repro.core.server import UniviStorServers
@@ -30,10 +36,13 @@ from repro.core.client import UniviStorDriver
 __all__ = [
     "Chunk",
     "DHPWriter",
+    "DataLossError",
     "FileState",
+    "IOTimeoutError",
     "LogFile",
     "MetadataRecord",
     "MetadataService",
+    "MetadataUnavailableError",
     "PlacedSegment",
     "StorageTier",
     "StripingPlan",

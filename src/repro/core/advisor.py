@@ -23,7 +23,7 @@ Enable with ``UniviStorConfig(adaptive_placement=True)``.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.core.config import StorageTier

@@ -19,7 +19,7 @@ servers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional
 
 from repro.analysis.metrics import Telemetry

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.units import MiB
@@ -65,6 +65,18 @@ class UniviStorConfig:
     #: shared burst buffer asynchronously at close, so a node failure
     #: before the flush completes loses nothing.
     resilience_enabled: bool = False
+    #: Copies of each metadata offset-range, on distinct servers (a stride
+    #: of ``servers_per_node`` keeps replicas off the primary's node).
+    #: 1 = the paper's unreplicated KV: a server crash loses its ranges.
+    metadata_replication: int = 1
+    #: Bounded retry for tier I/O on the flush/read/replication paths:
+    #: how many re-attempts a transient failure gets (0 = fail fast).
+    io_retry_limit: int = 0
+    #: First backoff delay in seconds; doubles per attempt.
+    io_backoff_base: float = 0.05
+    #: Per-operation deadline in seconds for retried tier I/O (None = no
+    #: deadline; a miss counts as a transient failure and is retried).
+    io_timeout: Optional[float] = None
     #: §V future work — adapt each new file's caching tiers to observed
     #: usage patterns (write-once files skip the scarce DRAM tier).
     adaptive_placement: bool = False
@@ -76,6 +88,14 @@ class UniviStorConfig:
             raise ValueError("chunk_size must be positive")
         if self.metadata_range_size <= 0:
             raise ValueError("metadata_range_size must be positive")
+        if self.metadata_replication < 1:
+            raise ValueError("metadata_replication must be >= 1")
+        if self.io_retry_limit < 0:
+            raise ValueError("io_retry_limit must be >= 0")
+        if self.io_backoff_base <= 0:
+            raise ValueError("io_backoff_base must be positive")
+        if self.io_timeout is not None and self.io_timeout <= 0:
+            raise ValueError("io_timeout must be positive (or None)")
         if StorageTier.PFS in self.cache_tiers:
             raise ValueError("PFS is the implicit destination tier; "
                              "do not list it in cache_tiers")

@@ -296,6 +296,12 @@ class DHPWriter:
                     f"rank {self.rank}: data exhausted all "
                     f"{len(self.logs)} layers")
             log = self.logs[layer]
+            if log.device is not None and not log.device.accepts_placement:
+                # Failed or degraded tier: spill straight past it without
+                # raising ``_spill_level`` — a transient brownout should
+                # not permanently retire the layer (graceful degradation).
+                layer += 1
+                continue
             runs = log.append(length - placed, payload,
                               payload_offset + placed)
             for addr, run_len in runs:

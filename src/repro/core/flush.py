@@ -17,12 +17,11 @@ persistence that node-local and burst-buffer space cannot (§I).
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator
 
 from repro.core.config import StorageTier
 from repro.core.striping import adaptive_plan, default_plan
-from repro.sim.engine import Event, Process
+from repro.sim.engine import Event
 
 __all__ = ["FlushService"]
 
@@ -80,7 +79,7 @@ class FlushService:
             system.workflow.begin_flush(session.path)
         sched.begin_flush()
         try:
-            servers = system.total_servers
+            servers = system.alive_servers
             plan_fn = adaptive_plan if config.adaptive_striping else default_plan
             plan = plan_fn(pending, servers, machine.spec.lustre)
             cpu_eff = sched.mean_flush_efficiency()
@@ -92,12 +91,14 @@ class FlushService:
             # ADPT's per-server ranges are disjoint and lock-aligned; the
             # default plan still writes one shared file from many servers.
             shared_writers = 0 if config.adaptive_striping else servers
-            flows.append(machine.lustre.write_with_layout(
-                plan.bytes_per_server, plan.layout,
-                per_stream_cap=injection_cap,
-                efficiency=cpu_eff,
-                shared_file_writers=shared_writers,
-                tag=f"flush-write:{session.path}"))
+            flows.append(system.timed_io(
+                lambda: machine.lustre.write_with_layout(
+                    plan.bytes_per_server, plan.layout,
+                    per_stream_cap=injection_cap,
+                    efficiency=cpu_eff,
+                    shared_file_writers=shared_writers,
+                    tag=f"flush-write:{session.path}"),
+                f"flush-write:{session.path}"))
 
             # Read side: drain the cached tiers in parallel (pipelined
             # with the write; completion is the max of the two).
@@ -111,22 +112,33 @@ class FlushService:
                     continue
                 if tier is StorageTier.SHARED_BB:
                     bb = machine.burst_buffer
-                    flows.append(bb.read(
-                        share / servers, streams=servers,
-                        per_stream_cap=bb.flush_cap(config.servers_per_node),
-                        efficiency=cpu_eff,
-                        tag=f"flush-read-bb:{session.path}"))
+                    flows.append(system.timed_io(
+                        lambda bb=bb, share=share: bb.read(
+                            share / servers, streams=servers,
+                            per_stream_cap=bb.flush_cap(
+                                config.servers_per_node),
+                            efficiency=cpu_eff,
+                            tag=f"flush-read-bb:{session.path}"),
+                        f"flush-read-bb:{session.path}"))
                 else:
                     # Node-local tiers: spread over the nodes holding data.
+                    # A failed node's copy is gone — nothing to read there.
                     per_node = self._per_node_cached(session, tier)
                     for node_id, node_bytes in per_node.items():
+                        if node_id in system.failed_nodes:
+                            continue
                         node = machine.nodes[node_id]
                         device = system.tier_device(tier, node)
                         streams = config.servers_per_node
                         pending_here = node_bytes * (pending / total_src)
-                        flows.append(device.read(
-                            pending_here / streams, streams=streams,
-                            tag=f"flush-read-{tier.value}:{session.path}"))
+                        flows.append(system.timed_io(
+                            lambda device=device,
+                            pending_here=pending_here,
+                            streams=streams, tier=tier: device.read(
+                                pending_here / streams, streams=streams,
+                                tag=f"flush-read-{tier.value}:"
+                                    f"{session.path}"),
+                            f"flush-read-{tier.value}:{session.path}"))
             yield self.engine.all_of(flows)
 
             # Functionally materialise the logical file on the PFS.
@@ -152,12 +164,27 @@ class FlushService:
         return out
 
     def _materialise_to_pfs(self, session) -> None:
-        """Copy the logical file content onto the PFS namespace."""
+        """Copy the logical file content onto the PFS namespace.
+
+        Records whose only copy died with a node cannot be materialised:
+        the flush skips them (the PFS copy gets an honest hole there) and
+        surfaces the loss through telemetry instead of crashing the
+        background flush process.
+        """
+        from repro.core.resilience import DataLossError
         system = self.system
         pfs = self.machine.pfs_files
         out = pfs.create(session.path)
         read_service = system.read_service
+        lost_bytes = 0.0
         for record in system.metadata.records_of(session.fid):
-            for extent in read_service.resolve(session, record):
+            try:
+                extents = read_service.resolve(session, record)
+            except DataLossError:
+                lost_bytes += record.length
+                continue
+            for extent in extents:
                 out.write_at(extent.offset, extent.length, extent.payload,
                              extent.payload_offset)
+        if lost_bytes > 0:
+            system.telemetry_hook("flush-lost", session.path, lost_bytes)

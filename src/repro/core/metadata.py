@@ -1,4 +1,4 @@
-"""Distributed metadata service (§II-B3).
+"""Distributed metadata service (§II-B3) with optional replication.
 
 One record per placed segment maps ``(FID, logical offset range)`` to
 ``(ProcID, VA)`` — Fig. 3's ``M1..M16``.  Records are partitioned into
@@ -6,17 +6,30 @@ fixed-width **offset ranges** and the ranges are assigned to servers
 round-robin, so (a) no single server owns a whole file's metadata (the
 scalability argument against the naive centralised map) and (b) a client
 can compute the owning server of any offset locally — one RPC per lookup.
+
+Replication (robustness extension): with ``replication >= 2`` every range
+is mirrored onto the next ``replication - 1`` servers at ``replica_stride``
+steps (a stride of ``servers_per_node`` keeps replicas off the primary's
+node, so a node crash never takes a range's whole replica set).  Writes go
+to every live replica; a client computes the replica set locally and reads
+from the first live member — owner death costs nothing but the failover.
+When every replica of a range is dead the range is gone:
+:class:`MetadataUnavailableError`.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.config import StorageTier
 
-__all__ = ["MetadataRecord", "MetadataService"]
+__all__ = ["MetadataRecord", "MetadataService", "MetadataUnavailableError"]
+
+
+class MetadataUnavailableError(RuntimeError):
+    """Every replica of a metadata range has failed — its records are gone."""
 
 
 @dataclass(frozen=True)
@@ -59,13 +72,26 @@ class MetadataService:
     contacted, which the caller prices with the network model.
     """
 
-    def __init__(self, n_servers: int, range_size: float):
+    def __init__(self, n_servers: int, range_size: float,
+                 replication: int = 1, replica_stride: int = 1):
         if n_servers < 1:
             raise ValueError(f"need at least one server, got {n_servers}")
         if range_size <= 0:
             raise ValueError(f"range_size must be positive, got {range_size}")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if replica_stride < 1:
+            raise ValueError(
+                f"replica_stride must be >= 1, got {replica_stride}")
         self.n_servers = n_servers
         self.range_size = float(range_size)
+        self.replication = min(replication, n_servers)
+        self.replica_stride = replica_stride
+        #: Servers whose partition is lost (crash injection).
+        self.failed_servers: Set[int] = set()
+        #: Observer called as ``on_failover(range_index, server)`` when a
+        #: read is served by a non-primary replica (telemetry wiring).
+        self.on_failover: Optional[Callable[[int, int], None]] = None
         # server -> fid -> (sorted start offsets, records)
         self._stores: List[Dict[int, Tuple[List[int], List[MetadataRecord]]]] = [
             dict() for _ in range(n_servers)]
@@ -81,6 +107,40 @@ class MetadataService:
         if offset < 0:
             raise ValueError(f"negative offset {offset}")
         return int(offset // self.range_size) % self.n_servers
+
+    def replica_servers(self, range_index: int) -> List[int]:
+        """Replica set of a range, primary first (client-computable)."""
+        out: List[int] = []
+        for k in range(self.replication):
+            server = (range_index + k * self.replica_stride) % self.n_servers
+            if server not in out:
+                out.append(server)
+        return out
+
+    def read_server_of(self, range_index: int) -> int:
+        """First live replica of a range — the server a client reads from.
+
+        Raises :class:`MetadataUnavailableError` when the whole replica
+        set is dead; fires :attr:`on_failover` when the primary is not
+        the one answering.
+        """
+        replicas = self.replica_servers(range_index)
+        for server in replicas:
+            if server not in self.failed_servers:
+                if server != replicas[0] and self.on_failover is not None:
+                    self.on_failover(range_index, server)
+                return server
+        raise MetadataUnavailableError(
+            f"metadata range {range_index} lost: all replicas "
+            f"{replicas} have failed")
+
+    def fail_server(self, server: int) -> None:
+        """A server process dies: its partition (all copies it held) is
+        gone.  Surviving replicas keep their ranges readable."""
+        if not 0 <= server < self.n_servers:
+            raise ValueError(f"no server {server}")
+        self.failed_servers.add(server)
+        self._stores[server].clear()
 
     def servers_for_range(self, offset: int, length: int) -> Set[int]:
         """All servers owning part of [offset, offset+length)."""
@@ -103,12 +163,23 @@ class MetadataService:
 
     # -- mutation ----------------------------------------------------------
     def insert(self, record: MetadataRecord) -> Set[int]:
-        """Insert (overwriting overlaps); returns servers contacted."""
+        """Insert (overwriting overlaps); returns servers contacted.
+
+        With replication every live replica of the piece's range receives
+        a copy; a range whose whole replica set is dead rejects the write.
+        """
         touched: Set[int] = set()
         for piece in self._split_by_range(record):
-            server = self.server_of(piece.offset)
-            touched.add(server)
-            self._insert_piece(server, piece)
+            range_index = int(piece.offset // self.range_size)
+            alive = [s for s in self.replica_servers(range_index)
+                     if s not in self.failed_servers]
+            if not alive:
+                raise MetadataUnavailableError(
+                    f"metadata range {range_index} lost: all replicas "
+                    f"{self.replica_servers(range_index)} have failed")
+            for server in alive:
+                touched.add(server)
+                self._insert_piece(server, piece)
         return touched
 
     def insert_many(self, records: Iterable[MetadataRecord]) -> Set[int]:
@@ -152,39 +223,57 @@ class MetadataService:
     def lookup(self, fid: int, offset: int,
                length: int) -> Tuple[List[MetadataRecord], Set[int]]:
         """Records overlapping [offset, offset+length), clipped to it,
-        plus the servers contacted.  Unmapped holes are simply absent."""
+        plus the servers contacted.  Unmapped holes are simply absent.
+
+        Each range in the span is answered by its first live replica, so
+        the result never duplicates records across replicas and a dead
+        primary costs only the failover to the next copy.
+        """
         if length <= 0:
             return [], set()
         end = offset + length
-        touched = self.servers_for_range(offset, length)
+        touched: Set[int] = set()
         found: List[MetadataRecord] = []
-        for server in touched:
+        first = int(offset // self.range_size)
+        last = int((end - 1) // self.range_size)
+        for range_index in range(first, last + 1):
+            sub_lo = max(offset, int(range_index * self.range_size))
+            sub_hi = min(end, int((range_index + 1) * self.range_size))
+            server = self.read_server_of(range_index)
+            touched.add(server)
             store = self._stores[server].get(fid)
             if store is None:
                 continue
             starts, recs = store
-            lo = bisect.bisect_left(starts, offset)
-            if lo > 0 and recs[lo - 1].end > offset:
+            lo = bisect.bisect_left(starts, sub_lo)
+            if lo > 0 and recs[lo - 1].end > sub_lo:
                 lo -= 1
             for rec in recs[lo:]:
-                if rec.offset >= end:
+                if rec.offset >= sub_hi:
                     break
-                if rec.end <= offset:
+                if rec.end <= sub_lo:
                     continue
-                found.append(rec.slice(max(rec.offset, offset),
-                                       min(rec.end, end)))
+                found.append(rec.slice(max(rec.offset, sub_lo),
+                                       min(rec.end, sub_hi)))
         found.sort(key=lambda r: r.offset)
         return found, touched
 
     def records_of(self, fid: int) -> List[MetadataRecord]:
-        """All records of a file in offset order (flush path)."""
-        out: List[MetadataRecord] = []
-        for store in self._stores:
+        """All records of a file in offset order (flush path).
+
+        Replicated pieces are identical frozen records, so surviving
+        copies collapse in the dedup; ranges whose whole replica set died
+        are simply absent (the flush path surfaces those through the
+        per-record loss checks instead).
+        """
+        seen: Set[MetadataRecord] = set()
+        for server, store in enumerate(self._stores):
+            if server in self.failed_servers:
+                continue
             entry = store.get(fid)
             if entry:
-                out.extend(entry[1])
-        out.sort(key=lambda r: r.offset)
-        return out
+                seen.update(entry[1])
+        return sorted(seen, key=lambda r: (r.offset, r.proc_id))
 
     def server_record_counts(self) -> List[int]:
         """Records per server (for load-balance assertions in tests)."""

@@ -20,9 +20,8 @@ round trip.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, Generator, List
 
 from repro.core.config import StorageTier
 from repro.core.metadata import MetadataRecord
@@ -85,7 +84,10 @@ class ReadService:
             if not self.system.config.resilience_enabled:
                 raise DataLossError(
                     f"{session.path}: [{record.offset}, +{record.length}) "
-                    f"lived only on failed node {record.node_id}")
+                    f"lived only on failed node {record.node_id}",
+                    fid=record.fid, rank=record.proc_id,
+                    node=record.node_id, offset=record.offset,
+                    length=record.length)
             return self.system.resilience.resolve_replica(session, record)
         writer = session.writers.get(record.proc_id)
         if writer is None:
@@ -177,6 +179,7 @@ class ReadService:
         machine = self.machine
         net = machine.network
         sched = self.system.scheduler
+        timed_io = self.system.timed_io
         flows = []
 
         # Metadata look-ups: the busiest KV server serialises its queue.
@@ -214,11 +217,13 @@ class ReadService:
                 cap = node.spec.dram_cache_bandwidth / ranks_here
             else:
                 cap = device.pipe.bandwidth / ranks_here
-            flows.append(device.read(nbytes / ranks_here,
-                                     streams=ranks_here,
-                                     per_stream_cap=cap,
-                                     efficiency=eff,
-                                     tag=f"read-local-{tier.value}"))
+            flows.append(timed_io(
+                lambda device=device, nbytes=nbytes, ranks_here=ranks_here,
+                cap=cap, eff=eff, tier=tier: device.read(
+                    nbytes / ranks_here, streams=ranks_here,
+                    per_stream_cap=cap, efficiency=eff,
+                    tag=f"read-local-{tier.value}"),
+                f"read-local-{tier.value}"))
 
         # Remote node-storage reads: remote device + backbone transfer.
         if breakdown.remote_bytes > 0:
@@ -229,9 +234,12 @@ class ReadService:
                 device = self.system.tier_device(tier, node)
                 src_streams = max(1, round(
                     streams * nbytes / breakdown.remote_bytes))
-                flows.append(device.read(nbytes / src_streams,
-                                         streams=src_streams,
-                                         tag="read-remote-src"))
+                flows.append(timed_io(
+                    lambda device=device, nbytes=nbytes,
+                    src_streams=src_streams: device.read(
+                        nbytes / src_streams, streams=src_streams,
+                        tag="read-remote-src"),
+                    "read-remote-src"))
             flows.append(net.transfer(per_stream, streams=streams,
                                       streams_per_node=comm.procs_per_node,
                                       tag="read-remote-net"))
@@ -244,9 +252,12 @@ class ReadService:
             per_stream = breakdown.bb_bytes / streams
             cap = bb.client_read_cap(comm.procs_per_node)
             bb_eff = 1.0 if location_aware else _SERVER_COPY_FACTOR
-            flows.append(bb.read(per_stream, streams=streams,
-                                 per_stream_cap=cap, efficiency=bb_eff,
-                                 tag="read-bb"))
+            flows.append(timed_io(
+                lambda bb=bb, per_stream=per_stream, streams=streams,
+                cap=cap, bb_eff=bb_eff: bb.read(
+                    per_stream, streams=streams, per_stream_cap=cap,
+                    efficiency=bb_eff, tag="read-bb"),
+                "read-bb"))
             if not location_aware:
                 # Server-mediated fetch: the payload additionally crosses
                 # the network twice (BB -> server -> client); the server
@@ -265,10 +276,13 @@ class ReadService:
             cap = min(2 * lustre.spec.ost_bandwidth,
                       lustre.spec.client_node_bandwidth * 2
                       / comm.procs_per_node)
-            flows.append(lustre.device.read(
-                per_stream_bytes, streams=streams, per_stream_cap=cap,
-                efficiency=lustre.spec.fpp_efficiency(streams),
-                tag="read-pfs"))
+            flows.append(timed_io(
+                lambda lustre=lustre, per_stream_bytes=per_stream_bytes,
+                streams=streams, cap=cap: lustre.device.read(
+                    per_stream_bytes, streams=streams, per_stream_cap=cap,
+                    efficiency=lustre.spec.fpp_efficiency(streams),
+                    tag="read-pfs"),
+                "read-pfs"))
 
         if flows:
             yield self.engine.all_of(flows)

@@ -25,14 +25,31 @@ from typing import Dict, Generator, List, Optional
 from repro.core.config import StorageTier
 from repro.core.metadata import MetadataRecord
 from repro.sim.engine import Event
-from repro.storage.datamodel import Extent
+from repro.storage.datamodel import Extent, ZeroPayload
 from repro.storage.posix import SimFile
 
 __all__ = ["DataLossError", "ResilienceService"]
 
 
 class DataLossError(RuntimeError):
-    """A read touched data whose only copy died with its node."""
+    """A read touched data whose only copy died with its node.
+
+    Carries a structured payload naming exactly what was lost — the
+    file, the source rank, the failed node and the byte range — so
+    callers (and tests) can react to the loss instead of parsing the
+    message.
+    """
+
+    def __init__(self, message: str, *, fid: Optional[int] = None,
+                 rank: Optional[int] = None, node: Optional[int] = None,
+                 offset: Optional[int] = None,
+                 length: Optional[int] = None):
+        super().__init__(message)
+        self.fid = fid
+        self.rank = rank
+        self.node = node
+        self.offset = offset
+        self.length = length
 
 
 class ResilienceService:
@@ -74,7 +91,15 @@ class ResilienceService:
 
     # -- the asynchronous replication pass -------------------------------------
     def start_replication(self, session) -> Event:
-        """Kick off (or no-op) replication; returns its completion event."""
+        """Kick off (or no-op) replication; returns its completion event.
+
+        Idempotent while a pass is in flight: a re-replication trigger
+        (node crash) that races the close-time pass joins it instead of
+        double-copying the same pending bytes.
+        """
+        outstanding = self._events.get(session.path)
+        if outstanding is not None and not outstanding.triggered:
+            return outstanding
         pending = self.pending_bytes(session)
         if pending <= 0:
             ev = self.engine.event(name="replicate-noop")
@@ -97,21 +122,35 @@ class ResilienceService:
         bb = self.machine.burst_buffer
         if bb is None:
             raise RuntimeError("resilience needs a shared burst buffer")
-        servers = system.total_servers
+        servers = system.alive_servers
         # Functional copy: replica files hold logical-offset extents, so
-        # fail-over reads need no VA translation.
+        # fail-over reads need no VA translation.  Records whose source
+        # node already died mid-session are unrecoverable here — skip
+        # them (they would raise) and surface the loss via telemetry.
         read_service = system.read_service
+        lost_bytes = 0.0
         for record in self._volatile_records(session):
+            if self.is_lost(record):
+                lost_bytes += record.length
+                continue
             replica = self.replica_file(session, record.proc_id)
             for extent in read_service.resolve(session, record):
                 replica.write_at(extent.offset, extent.length,
                                  extent.payload, extent.payload_offset)
+        if lost_bytes > 0:
+            system.telemetry_hook("replicate-lost", session.path,
+                                  lost_bytes, t_start=t_start)
         # Timed copy: the servers drain the volatile tiers into the BB
-        # (file-per-process replica logs: no shared-file penalty).
-        yield bb.write(pending / servers, streams=servers,
-                       per_stream_cap=bb.flush_cap(
-                           system.config.servers_per_node),
-                       tag=f"replicate:{session.path}")
+        # (file-per-process replica logs: no shared-file penalty).  Lost
+        # bytes have nothing to drain.
+        copy_bytes = max(0.0, pending - lost_bytes)
+        if copy_bytes > 0:
+            yield system.timed_io(
+                lambda: bb.write(copy_bytes / servers, streams=servers,
+                                 per_stream_cap=bb.flush_cap(
+                                     system.config.servers_per_node),
+                                 tag=f"replicate:{session.path}"),
+                f"replicate:{session.path}")
         self._replicated[session.path] = (
             self._replicated.get(session.path, 0.0) + pending)
         self.system.telemetry_hook("replicate", session.path, pending,
@@ -131,12 +170,16 @@ class ResilienceService:
         if replica is None:
             raise DataLossError(
                 f"{session.path}: rank {record.proc_id}'s data on failed "
-                f"node {record.node_id} was never replicated")
+                f"node {record.node_id} was never replicated",
+                fid=record.fid, rank=record.proc_id, node=record.node_id,
+                offset=record.offset, length=record.length)
         extents = replica.read_at(record.offset, record.length)
         for ext in extents:
-            from repro.storage.datamodel import ZeroPayload
             if isinstance(ext.payload, ZeroPayload):
                 raise DataLossError(
                     f"{session.path}: replica of rank {record.proc_id} "
-                    f"misses [{ext.offset}, +{ext.length})")
+                    f"misses [{ext.offset}, +{ext.length})",
+                    fid=record.fid, rank=record.proc_id,
+                    node=record.node_id, offset=ext.offset,
+                    length=ext.length)
         return extents

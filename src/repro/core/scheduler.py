@@ -8,7 +8,7 @@ processes back on client cores while servers flush, restore afterwards).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Tuple
+from typing import Dict, Tuple
 
 from repro.cluster.cpu import PlacementPolicy, cpu_availability
 from repro.cluster.node import ComputeNode

@@ -17,7 +17,7 @@ sockets, §III-A).  They collectively provide:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.cluster.node import ComputeNode
 from repro.cluster.topology import Machine
@@ -30,7 +30,7 @@ from repro.core.workflow import WorkflowManager
 from repro.sim.engine import Engine, Event
 from repro.simmpi.comm import Communicator
 from repro.storage.device import StorageDevice
-from repro.storage.posix import FileStore, SimFile
+from repro.storage.posix import FileStore
 
 __all__ = ["FileSession", "UniviStorServers"]
 
@@ -101,8 +101,16 @@ class UniviStorServers:
                                  kind="server",
                                  procs_per_node=config.servers_per_node)
         self.total_servers = len(machine.nodes) * config.servers_per_node
-        self.metadata = MetadataService(self.total_servers,
-                                        config.metadata_range_size)
+        # Replica stride of servers_per_node puts each metadata copy on a
+        # different node than its primary, so one node crash never wipes
+        # a range's whole replica set.
+        self.metadata = MetadataService(
+            self.total_servers, config.metadata_range_size,
+            replication=config.metadata_replication,
+            replica_stride=(config.servers_per_node
+                            if self.total_servers > config.servers_per_node
+                            else 1))
+        self.metadata.on_failover = self._note_metadata_failover
         self.scheduler = SchedulerService(machine, config, self.program)
         self.workflow = WorkflowManager(self.engine)
         self._sessions: Dict[str, FileSession] = {}
@@ -110,6 +118,8 @@ class UniviStorServers:
         self.connected_clients: Dict[str, int] = {}
         #: Nodes whose local storage has been lost (resilience testing).
         self.failed_nodes: set = set()
+        #: Server processes that have crashed (fault injection).
+        self.failed_servers: set = set()
         #: Telemetry sink, attached by the Simulation facade.
         self.telemetry = None
         # Collective services (imported here to avoid module cycles).
@@ -133,16 +143,99 @@ class UniviStorServers:
                                   else t_start,
                                   nbytes=nbytes, driver="univistor")
 
+    def _note_metadata_failover(self, range_index: int, server: int) -> None:
+        self.telemetry_hook("metadata-failover",
+                            f"range:{range_index}->server:{server}", 0.0)
+
+    @property
+    def alive_servers(self) -> int:
+        """Server processes still running (flush/replication fan-out)."""
+        return max(1, self.total_servers - len(self.failed_servers))
+
     def fail_node(self, node_id: int) -> None:
-        """Lose a compute node: its local cached data is gone.
+        """Lose a compute node's local storage: its cached data is gone.
 
         Reads of segments that lived there either fall back to replicas
         (``resilience_enabled``) or raise
-        :class:`~repro.core.resilience.DataLossError`.
+        :class:`~repro.core.resilience.DataLossError`.  The node's server
+        processes keep running — use :meth:`crash_node` for a full crash.
         """
         if not 0 <= node_id < len(self.machine.nodes):
             raise ValueError(f"no node {node_id}")
+        if node_id in self.failed_nodes:
+            return
         self.failed_nodes.add(node_id)
+        self.telemetry_hook("fault-node-storage-lost", f"node:{node_id}",
+                            0.0)
+
+    def crash_server(self, server_id: int) -> None:
+        """Kill one server process: its metadata partition is lost.
+
+        With ``metadata_replication >= 2`` the surviving replicas keep
+        every range readable (client-side failover); otherwise lookups on
+        its ranges raise
+        :class:`~repro.core.metadata.MetadataUnavailableError`.
+        """
+        if not 0 <= server_id < self.total_servers:
+            raise ValueError(f"no server {server_id}")
+        if server_id in self.failed_servers:
+            return
+        self.failed_servers.add(server_id)
+        self.metadata.fail_server(server_id)
+        self.telemetry_hook("fault-server-crash", f"server:{server_id}", 0.0)
+
+    def crash_node(self, node_id: int) -> None:
+        """Full node crash: local data, plus every server process it ran.
+
+        Recovery actions ride on the crash: metadata ranges fail over to
+        replicas on surviving nodes, and (with resilience enabled) every
+        session holding unreplicated volatile data gets an immediate
+        re-replication pass so the remaining copies stop being unique.
+        """
+        if not 0 <= node_id < len(self.machine.nodes):
+            raise ValueError(f"no node {node_id}")
+        already_down = node_id in self.failed_nodes
+        self.fail_node(node_id)
+        for server_id in range(node_id * self.config.servers_per_node,
+                               (node_id + 1) * self.config.servers_per_node):
+            self.crash_server(server_id)
+        if already_down:
+            return
+        self.telemetry_hook("fault-node-crash", f"node:{node_id}", 0.0)
+        if self.config.resilience_enabled:
+            for session in self._sessions.values():
+                if self.resilience.pending_bytes(session) > 0:
+                    self.telemetry_hook("re-replicate", session.path,
+                                        self.resilience.pending_bytes(
+                                            session))
+                    self.resilience.start_replication(session)
+
+    # -- fault-tolerant I/O ------------------------------------------------
+    def timed_io(self, make_event, label: str) -> Event:
+        """Wrap a timed storage operation in the configured retry policy.
+
+        With retries and timeouts disabled (the default) this is exactly
+        ``make_event()`` — zero overhead on the paper's configurations.
+        Otherwise the operation runs as a small engine process that
+        re-attempts transient failures with exponential backoff; every
+        retry is surfaced through the telemetry hook.
+        """
+        config = self.config
+        if config.io_retry_limit <= 0 and config.io_timeout is None:
+            return make_event()
+        from repro.core.retry import retrying
+
+        def note_retry(attempt, delay, error):
+            self.telemetry_hook(
+                "io-retry", f"{label}:attempt{attempt}:{type(error).__name__}",
+                0.0)
+
+        return self.engine.process(
+            retrying(self.engine, make_event, limit=config.io_retry_limit,
+                     backoff_base=config.io_backoff_base,
+                     timeout=config.io_timeout, on_retry=note_retry,
+                     label=label),
+            name=f"retry:{label}")
 
     # -- tier plumbing -----------------------------------------------------
     def _check_tier_available(self, tier: StorageTier) -> None:

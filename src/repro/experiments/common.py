@@ -16,7 +16,7 @@ node, 2 UniviStor (and Data Elevator) servers per node (§III-A).
 from __future__ import annotations
 
 import os
-from typing import Callable, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.cluster.spec import MachineSpec
 from repro.core.config import UniviStorConfig

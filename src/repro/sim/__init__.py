@@ -27,6 +27,7 @@ from repro.sim.engine import (
     SimulationError,
     Timeout,
 )
+from repro.sim.faults import Fault, FaultInjector, FaultSpec
 from repro.sim.resources import (
     BandwidthResource,
     Flow,
@@ -41,6 +42,9 @@ __all__ = [
     "BandwidthResource",
     "Engine",
     "Event",
+    "Fault",
+    "FaultInjector",
+    "FaultSpec",
     "Flow",
     "Interrupt",
     "Process",

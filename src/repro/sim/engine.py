@@ -17,7 +17,7 @@ simulation is a pure function of its inputs.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
     "SimulationError",

@@ -1,0 +1,319 @@
+"""Deterministic, seeded fault injection (robustness extension, §V).
+
+The paper's conclusions name resilience in volatile layers as the open
+problem; this module supplies the *adversary*: a :class:`FaultInjector`
+wired through the event engine that can, on a schedule or drawn
+probabilistically from a seeded RNG, crash compute nodes and individual
+server processes, degrade or fail storage devices (slow-OST stragglers,
+shared-BB brownouts, injected write errors), and slow or delay the
+interconnect.  Recovery lives in :mod:`repro.core` — metadata replication
+with client-side failover, retry/backoff on tier I/O, DHP skipping sick
+tiers, and re-replication of under-replicated sessions.
+
+Determinism: the whole fault timeline is resolved *up front* from the
+spec plus a :class:`~repro.sim.rng.StreamRNG` seed (one named stream per
+target, so adding a fault class never perturbs existing draws).  The same
+seed always produces the identical timeline, and faults fire through
+ordinary engine timeouts — FIFO tie-breaking keeps the schedule
+bit-reproducible.  Every injected fault is surfaced through the system's
+``telemetry_hook`` so runs stay auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sim.rng import StreamRNG
+
+__all__ = ["Fault", "FaultInjector", "FaultSpec"]
+
+#: Fault kinds understood by the injector.
+KINDS = ("node-crash", "server-crash", "device-degrade", "device-fail",
+         "write-errors", "net-degrade", "net-delay")
+
+_SHARED_TIERS = ("pfs", "shared_bb")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault event.
+
+    ``target`` is a node id (``node-crash``, and device faults on
+    node-local tiers) or a server id (``server-crash``); ``tier`` names
+    the device for device faults (``pfs``, ``shared_bb``, ``dram``,
+    ``local_ssd``).  ``duration`` schedules an automatic restore for
+    degradations/outages; ``None`` makes them permanent.
+    """
+
+    at: float
+    kind: str
+    target: Optional[int] = None
+    tier: Optional[str] = None
+    factor: float = 1.0
+    duration: Optional[float] = None
+    count: int = 0
+    delay: float = 0.0
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"valid: {KINDS}")
+        if not (0.0 < self.factor <= 1.0):
+            raise ValueError(f"factor must be in (0, 1], got {self.factor}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.kind in ("node-crash",) and self.target is None:
+            raise ValueError("node-crash needs target=<node id>")
+        if self.kind == "server-crash" and self.target is None:
+            raise ValueError("server-crash needs target=<server id>")
+        if self.kind.startswith("device-") or self.kind == "write-errors":
+            if self.tier is None:
+                raise ValueError(f"{self.kind} needs tier=<storage tier>")
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.target is not None:
+            parts.append(f"target={self.target}")
+        if self.tier is not None:
+            parts.append(f"tier={self.tier}")
+        if self.factor != 1.0:
+            parts.append(f"factor={self.factor:g}")
+        if self.duration is not None:
+            parts.append(f"duration={self.duration:g}")
+        if self.count:
+            parts.append(f"count={self.count}")
+        if self.delay:
+            parts.append(f"delay={self.delay:g}")
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What to inject: explicit events plus probabilistic rates.
+
+    The probabilistic part draws exponential inter-arrival times within
+    ``[0, horizon)`` from per-target seeded streams — deterministic under
+    a fixed injector seed.  Rates are events/second; crashes fire at most
+    once per target (a crashed thing stays crashed), degradations recur.
+    """
+
+    events: Tuple[Fault, ...] = ()
+    node_crash_rate: float = 0.0
+    server_crash_rate: float = 0.0
+    device_degrade_rate: float = 0.0
+    degrade_factor: float = 0.25
+    degrade_duration: float = 30.0
+    horizon: float = 0.0
+
+    def __post_init__(self):
+        for rate in (self.node_crash_rate, self.server_crash_rate,
+                     self.device_degrade_rate):
+            if rate < 0:
+                raise ValueError(f"negative fault rate {rate}")
+        if self.horizon < 0:
+            raise ValueError(f"negative horizon {self.horizon}")
+        has_rates = (self.node_crash_rate or self.server_crash_rate
+                     or self.device_degrade_rate)
+        if has_rates and self.horizon <= 0:
+            raise ValueError("probabilistic rates need a positive horizon")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI's ``--fault-spec`` mini-language.
+
+        Semicolon-separated events, each ``kind@<time>:key=val,...``::
+
+            node-crash@120:node=0;device-degrade@60:tier=pfs,factor=0.25,duration=300
+
+        A ``random:`` entry sets the probabilistic knobs::
+
+            random:node_crash_rate=0.001,horizon=600
+        """
+        events: List[Fault] = []
+        rates = {}
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if chunk.startswith("random:"):
+                for kv in chunk[len("random:"):].split(","):
+                    key, _, val = kv.partition("=")
+                    rates[key.strip()] = float(val)
+                continue
+            head, _, tail = chunk.partition(":")
+            kind, _, at = head.partition("@")
+            kwargs = {"at": float(at), "kind": kind.strip()}
+            for kv in filter(None, tail.split(",")):
+                key, _, val = kv.partition("=")
+                key = key.strip()
+                if key in ("node", "server"):
+                    kwargs["target"] = int(val)
+                elif key == "count":
+                    kwargs["count"] = int(val)
+                elif key == "tier":
+                    kwargs["tier"] = val.strip()
+                elif key in ("factor", "duration", "delay"):
+                    kwargs[key] = float(val)
+                else:
+                    raise ValueError(f"unknown fault key {key!r}")
+            events.append(Fault(**kwargs))
+        return cls(events=tuple(events), **rates)
+
+
+class FaultInjector:
+    """Resolves a :class:`FaultSpec` into a timeline and injects it.
+
+    ``system`` is a :class:`~repro.core.server.UniviStorServers`; faults
+    fire as engine timeouts, so the timeline interleaves deterministically
+    with the workload.  :attr:`timeline` (resolved before anything runs)
+    and :attr:`applied` (what actually fired, with timestamps) make the
+    injection inspectable by tests and examples.
+    """
+
+    def __init__(self, system, spec: FaultSpec, seed: int = 0):
+        self.system = system
+        self.machine = system.machine
+        self.engine = system.engine
+        self.spec = spec
+        self.seed = int(seed)
+        self.timeline: Tuple[Fault, ...] = self._resolve_timeline()
+        #: (sim time, fault description) for every fault/restore applied.
+        self.applied: List[Tuple[float, str]] = []
+        self._installed = False
+
+    # -- timeline resolution ------------------------------------------------
+    def _resolve_timeline(self) -> Tuple[Fault, ...]:
+        rng = StreamRNG(self.seed)
+        events: List[Fault] = list(self.spec.events)
+        spec = self.spec
+        if spec.node_crash_rate > 0:
+            for node in self.machine.nodes:
+                t = rng.stream(f"fault.node-crash.{node.node_id}").exponential(
+                    1.0 / spec.node_crash_rate)
+                if t < spec.horizon:
+                    events.append(Fault(at=float(t), kind="node-crash",
+                                        target=node.node_id))
+        if spec.server_crash_rate > 0:
+            for server in range(self.system.total_servers):
+                t = rng.stream(f"fault.server-crash.{server}").exponential(
+                    1.0 / spec.server_crash_rate)
+                if t < spec.horizon:
+                    events.append(Fault(at=float(t), kind="server-crash",
+                                        target=server))
+        if spec.device_degrade_rate > 0:
+            for tier in _SHARED_TIERS:
+                if tier == "shared_bb" and self.machine.burst_buffer is None:
+                    continue
+                stream = rng.stream(f"fault.device-degrade.{tier}")
+                t = 0.0
+                while True:
+                    t += float(stream.exponential(
+                        1.0 / spec.device_degrade_rate))
+                    if t >= spec.horizon:
+                        break
+                    events.append(Fault(at=t, kind="device-degrade",
+                                        tier=tier,
+                                        factor=spec.degrade_factor,
+                                        duration=spec.degrade_duration))
+        events.sort(key=lambda f: (f.at, KINDS.index(f.kind),
+                                   -1 if f.target is None else f.target,
+                                   f.tier or ""))
+        return tuple(events)
+
+    # -- installation -------------------------------------------------------
+    def install(self) -> "FaultInjector":
+        """Arm every fault as an engine timeout (idempotent)."""
+        if self._installed:
+            return self
+        self._installed = True
+        now = self.engine.now
+        for fault in self.timeline:
+            delay = max(0.0, fault.at - now)
+
+            def _fire(_ev, fault=fault):
+                self._apply(fault)
+
+            self.engine.timeout(delay).callbacks.append(_fire)
+        return self
+
+    # -- application --------------------------------------------------------
+    def _device_of(self, fault: Fault):
+        from repro.core.config import StorageTier
+        tier = StorageTier(fault.tier)
+        node = None
+        if tier.is_node_local:
+            if fault.target is None:
+                raise ValueError(
+                    f"{fault.kind} on node-local tier {fault.tier!r} "
+                    f"needs node=<node id>")
+            node = self.machine.nodes[fault.target]
+        return self.system.tier_device(tier, node)
+
+    def _note(self, desc: str) -> None:
+        self.applied.append((self.engine.now, desc))
+
+    def _schedule_restore(self, duration: float, restore, desc: str) -> None:
+        def _fire(_ev):
+            restore()
+            self._note(desc)
+            self.system.telemetry_hook("fault-restore", desc, 0.0)
+
+        self.engine.timeout(duration).callbacks.append(_fire)
+
+    def _apply(self, fault: Fault) -> None:
+        system = self.system
+        desc = fault.describe()
+        self._note(desc)
+        if fault.kind == "node-crash":
+            system.crash_node(fault.target)
+            return  # crash_node emits its own telemetry
+        if fault.kind == "server-crash":
+            system.crash_server(fault.target)
+            return
+        if fault.kind == "device-degrade":
+            device = self._device_of(fault)
+            device.degrade(fault.factor)
+            system.telemetry_hook("fault-device-degrade",
+                                  f"{device.name}:{desc}", 0.0)
+            if fault.duration is not None:
+                self._schedule_restore(fault.duration, device.restore,
+                                       f"restore:{device.name}")
+            return
+        if fault.kind == "device-fail":
+            device = self._device_of(fault)
+            device.fail()
+            system.telemetry_hook("fault-device-fail",
+                                  f"{device.name}:{desc}", 0.0)
+            if fault.duration is not None:
+                self._schedule_restore(fault.duration, device.restore,
+                                       f"restore:{device.name}")
+            return
+        if fault.kind == "write-errors":
+            device = self._device_of(fault)
+            device.inject_write_errors(fault.count)
+            system.telemetry_hook("fault-write-errors",
+                                  f"{device.name}:{desc}", 0.0)
+            return
+        backbone = self.machine.network.backbone
+        if fault.kind == "net-degrade":
+            backbone.set_degrade(fault.factor)
+            system.telemetry_hook("fault-net-degrade", desc, 0.0)
+            if fault.duration is not None:
+                self._schedule_restore(
+                    fault.duration, lambda: backbone.set_degrade(1.0),
+                    "restore:network")
+            return
+        if fault.kind == "net-delay":
+            backbone.latency += fault.delay
+            system.telemetry_hook("fault-net-delay", desc, 0.0)
+            if fault.duration is not None:
+                def _undo(extra=fault.delay):
+                    backbone.latency = max(0.0, backbone.latency - extra)
+
+                self._schedule_restore(fault.duration, _undo,
+                                       "restore:network-latency")
+            return
+        raise AssertionError(f"unhandled fault kind {fault.kind!r}")

@@ -180,6 +180,9 @@ class BandwidthResource:
         self._flows: List[Flow] = []
         self._last_update = engine.now
         self._wake_version = 0
+        # Health scaling in (0, 1]: fault injection throttles the whole
+        # pipe (stragglers, brownouts); applies to in-flight flows too.
+        self._degrade_factor = 1.0
         # Cumulative accounting for utilisation reports.
         self.bytes_moved = 0.0
         self.busy_time = 0.0
@@ -209,7 +212,7 @@ class BandwidthResource:
         if streams < 1:
             raise ValueError(f"streams must be >= 1, got {streams}")
         if per_stream_cap <= 0:
-            raise ValueError(f"per_stream_cap must be positive")
+            raise ValueError("per_stream_cap must be positive")
         if not (0.0 < efficiency <= 1.0):
             raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
         lat = self.latency if latency is None else latency
@@ -236,6 +239,24 @@ class BandwidthResource:
     def recompute(self) -> None:
         """Force a re-schedule (call after external contention state changes)."""
         self._advance()
+        self._reschedule()
+
+    @property
+    def degrade_factor(self) -> float:
+        return self._degrade_factor
+
+    def set_degrade(self, factor: float) -> None:
+        """Throttle the pipe to ``factor`` of its health (fault injection).
+
+        Unlike per-flow ``efficiency`` this is a property of the *pipe*:
+        it rescales flows already in flight, which is what a straggling
+        OST or a browning-out burst-buffer appliance does to transfers
+        that started before the fault.
+        """
+        if not (0.0 < factor <= 1.0):
+            raise ValueError(f"degrade factor must be in (0, 1], got {factor}")
+        self._advance()
+        self._degrade_factor = float(factor)
         self._reschedule()
 
     def utilisation(self, since: float = 0.0) -> float:
@@ -294,7 +315,8 @@ class BandwidthResource:
             if not (0.0 < eff <= 1.0):
                 raise SimulationError(
                     f"contention model returned efficiency {eff} for {f!r}")
-            f.rate = shares.get(f, 0.0) * eff * f.efficiency
+            f.rate = (shares.get(f, 0.0) * eff * f.efficiency
+                      * self._degrade_factor)
 
     def _min_dt(self) -> float:
         """Smallest time step representable around the current sim time.

@@ -11,7 +11,7 @@ CPU-placement model (§II-C) sees it.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.cluster.node import ComputeNode
 from repro.cluster.topology import Machine

@@ -16,7 +16,7 @@ same pair are never reordered.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Optional, Tuple
+from typing import Any, Dict, Generator, Tuple
 
 from repro.sim.resources import Store
 from repro.simmpi.comm import Communicator

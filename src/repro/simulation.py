@@ -29,6 +29,7 @@ from repro.core.client import UniviStorDriver
 from repro.core.config import UniviStorConfig
 from repro.core.server import UniviStorServers
 from repro.sim.engine import Engine, Process
+from repro.sim.faults import FaultInjector, FaultSpec
 from repro.simmpi.adio import DriverRegistry
 from repro.simmpi.comm import Communicator
 from repro.simmpi.mpiio import File
@@ -50,6 +51,7 @@ class Simulation:
         self.telemetry = Telemetry(self.engine)
         self.univistor: Optional[UniviStorServers] = None
         self.data_elevator: Optional[DataElevatorServers] = None
+        self.fault_injector: Optional[FaultInjector] = None
 
     # -- system installation ------------------------------------------------
     def install_univistor(self, config: Optional[UniviStorConfig] = None
@@ -78,6 +80,21 @@ class Simulation:
         driver = LustreDirectDriver(self.machine, self.telemetry)
         self.registry.register(driver)
         return driver
+
+    def install_faults(self, spec: FaultSpec, seed: int = 0) -> FaultInjector:
+        """Arm a fault-injection campaign against the UniviStor system.
+
+        Requires :meth:`install_univistor` first (faults target its
+        crash/degrade hooks).  The resolved timeline is deterministic
+        under ``seed`` and every fault flows through ``telemetry_hook``.
+        """
+        if self.univistor is None:
+            raise RuntimeError("install_univistor before install_faults")
+        if self.fault_injector is not None:
+            raise RuntimeError("faults already installed")
+        self.fault_injector = FaultInjector(self.univistor, spec,
+                                            seed=seed).install()
+        return self.fault_injector
 
     def force_fstype(self, name: Optional[str]) -> None:
         """The ``ROMIO_FSTYPE_FORCE`` environment flag (§II-A)."""

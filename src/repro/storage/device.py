@@ -8,11 +8,26 @@ from typing import Optional
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import BandwidthResource, ContentionModel
 
-__all__ = ["CapacityError", "StorageDevice"]
+__all__ = ["CapacityError", "DeviceUnavailableError", "StorageDevice",
+           "TransientIOError"]
 
 
 class CapacityError(RuntimeError):
     """Raised when an allocation exceeds the device's remaining capacity."""
+
+
+class TransientIOError(RuntimeError):
+    """A recoverable I/O failure (injected write error, brownout).
+
+    Retry with backoff may succeed — the fault-tolerant paths catch this
+    and re-attempt up to ``UniviStorConfig.io_retry_limit`` times.
+    """
+
+
+class DeviceUnavailableError(TransientIOError):
+    """The device is down.  Subclasses :class:`TransientIOError` because
+    an outage may be a brownout: retries bridge a short one, and a
+    permanent failure simply exhausts the retry budget and surfaces."""
 
 
 class StorageDevice:
@@ -48,6 +63,58 @@ class StorageDevice:
         else:
             self.read_pipe = self.pipe
         self._used = 0.0
+        self._failed = False
+        self._degrade_factor = 1.0
+        self._pending_write_errors = 0
+
+    # -- health (fault injection) ------------------------------------------
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    @property
+    def degraded(self) -> bool:
+        return self._degrade_factor < 1.0
+
+    @property
+    def health(self) -> str:
+        if self._failed:
+            return "failed"
+        return "degraded" if self.degraded else "healthy"
+
+    @property
+    def accepts_placement(self) -> bool:
+        """Whether DHP should place *new* data here (§II-B1 spill skips
+        failed and degraded tiers; existing data stays readable)."""
+        return not self._failed and not self.degraded
+
+    def degrade(self, factor: float) -> None:
+        """Throttle the device to ``factor`` of its bandwidth (straggler)."""
+        self._degrade_factor = float(factor)
+        self.pipe.set_degrade(factor)
+        if self.read_pipe is not self.pipe:
+            self.read_pipe.set_degrade(factor)
+
+    def fail(self) -> None:
+        """Take the device down: I/O raises until :meth:`restore`."""
+        self._failed = True
+
+    def restore(self) -> None:
+        """Clear failure and degradation."""
+        self._failed = False
+        if self.degraded:
+            self.degrade(1.0)
+
+    def inject_write_errors(self, count: int) -> None:
+        """Make the next ``count`` writes raise :class:`TransientIOError`."""
+        if count < 0:
+            raise ValueError(f"negative error count: {count}")
+        self._pending_write_errors += count
+
+    def _check_up(self, op: str) -> None:
+        if self._failed:
+            raise DeviceUnavailableError(f"{self.name}: device is down "
+                                         f"({op} refused)")
 
     # -- capacity ledger ---------------------------------------------------
     @property
@@ -82,6 +149,11 @@ class StorageDevice:
               per_stream_cap: float = math.inf, efficiency: float = 1.0,
               tag: Optional[str] = None, weight: float = 1.0) -> Event:
         """Timed write of ``nbytes`` per stream; returns completion event."""
+        self._check_up("write")
+        if self._pending_write_errors > 0:
+            self._pending_write_errors -= 1
+            raise TransientIOError(f"{self.name}: injected write error "
+                                   f"({self._pending_write_errors} left)")
         return self.pipe.transfer(nbytes, streams=streams,
                                   per_stream_cap=per_stream_cap,
                                   efficiency=efficiency, tag=tag or "write",
@@ -91,6 +163,7 @@ class StorageDevice:
              per_stream_cap: float = math.inf, efficiency: float = 1.0,
              tag: Optional[str] = None, weight: float = 1.0) -> Event:
         """Timed read of ``nbytes`` per stream; returns completion event."""
+        self._check_up("read")
         cap = per_stream_cap * self.read_factor if math.isfinite(
             per_stream_cap) else per_stream_cap
         return self.read_pipe.transfer(nbytes, streams=streams,

@@ -10,7 +10,7 @@ the Lustre baseline each pair a ``FileStore`` with the appropriate device.
 from __future__ import annotations
 
 import posixpath
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 from repro.storage.datamodel import ExtentMap, Payload
 

@@ -8,7 +8,7 @@ read phase) runnable against any registered ADIO driver.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.simmpi.comm import Communicator
 from repro.simulation import Simulation

@@ -11,11 +11,10 @@ the following compute phase.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator
 
 from repro.simmpi.comm import Communicator
 from repro.simulation import Simulation
-from repro.units import MiB
 from repro.workloads.hdf5sim import DatasetSpec, Hdf5Layout
 
 __all__ = ["VpicIO", "VPIC_BYTES_PER_PROC_PER_STEP", "VPIC_PROPERTIES"]

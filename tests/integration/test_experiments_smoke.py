@@ -3,7 +3,6 @@ qualitative ordering (who wins).  The benchmark suite checks the ratio
 bands at real scales; these just guarantee the runners stay runnable and
 directionally correct in plain CI."""
 
-import pytest
 
 from repro.experiments import (
     run_fig5a,

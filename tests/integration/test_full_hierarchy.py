@@ -18,7 +18,7 @@ from repro import (
     UniviStorConfig,
 )
 from repro.cluster.spec import NodeSpec
-from repro.units import GB, GiB, KiB, MiB
+from repro.units import GB, GiB, MiB
 
 
 def tiny_summit(dram_cache=4 * MiB, ssd=8 * MiB, bb=16 * MiB):

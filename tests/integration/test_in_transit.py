@@ -17,7 +17,7 @@ from repro import (
     Simulation,
     UniviStorConfig,
 )
-from repro.units import KiB, MiB
+from repro.units import KiB
 from repro.workloads import BdCatsIO, VpicIO
 
 

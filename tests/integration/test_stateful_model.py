@@ -9,7 +9,6 @@ copies.  This is the strongest correctness net in the suite: it explores
 interleavings no example-based test would think of.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
@@ -143,7 +142,6 @@ class UniviStorMachine(RuleBasedStateMachine):
         # unless the bytes were never written (then both are zero).
         ref = bytes(self._ref(path)[lo:hi])
         # Compare only written ranges exactly.
-        cursor = lo
         for r in sorted(records, key=lambda r: r.offset):
             assert (got[r.offset - lo:r.end - lo]
                     == ref[r.offset - lo:r.end - lo]), \

@@ -1,7 +1,6 @@
 """End-to-end integration tests: the full UniviStor stack on a small
 machine — write through MPI-IO, spill, flush, read back, verify bytes."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the adaptive-placement advisor (§V future work)."""
 
-import pytest
 
 from repro import (
     IORequest,

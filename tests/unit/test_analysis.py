@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.analysis import OpRecord, Table, Telemetry, fmt_markdown_table
+from repro.analysis import Table, Telemetry, fmt_markdown_table
 from repro.sim import Engine
 
 

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import StorageTier
-from repro.core.dhp import DHPWriter, LogFile, LogFullError
+from repro.core.dhp import DHPWriter, LogFile
 from repro.core.va import VirtualAddressSpace
 from repro.sim import Engine
 from repro.storage.datamodel import PatternPayload
@@ -93,7 +93,7 @@ class TestLogFileAppend:
 class TestFreeChunkStack:
     def test_free_full_chunk_returns_to_stack(self):
         log = make_log(capacity=30, chunk=10)
-        runs = log.append(30, PatternPayload(1))
+        log.append(30, PatternPayload(1))
         assert log.free_stack == []
         log.free_segment(0, 10)  # kill chunk 0 entirely
         assert log.free_stack == [0]
@@ -292,7 +292,7 @@ class TestDHPProperties:
         segs = w.write(0, n, PatternPayload(1))
         for s in segs:
             w.free(s)
-        w2_segs = w.write(0, n, PatternPayload(2))
+        w.write(0, n, PatternPayload(2))
         log0 = w.logs[0]
         for cid in range(log0.allocated_chunks):
             c = log0.chunk(cid)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Engine, Event, Interrupt, SimulationError
+from repro.sim import AllOf, AnyOf, Engine, Interrupt, SimulationError
 
 
 @pytest.fixture

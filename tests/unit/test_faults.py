@@ -1,0 +1,384 @@
+"""Fault injection and the survival mechanisms it exercises.
+
+Covers the failure/recovery matrix of the robustness extension: node
+crashes before/during/after replication, metadata-owner crashes with and
+without replicas, degraded devices falling out of DHP placement, bounded
+retry of transient write errors — plus the determinism guarantee that a
+fixed fault seed always produces the identical timeline.
+"""
+
+import pytest
+
+from repro import (
+    IORequest,
+    MachineSpec,
+    PatternPayload,
+    Simulation,
+    UniviStorConfig,
+)
+from repro.core.metadata import MetadataUnavailableError
+from repro.core.resilience import DataLossError
+from repro.sim.faults import Fault, FaultSpec
+from repro.storage.device import TransientIOError
+from repro.units import KiB, MiB
+
+BLOCK = int(256 * KiB)
+
+
+def setup(nodes=2, procs_per_node=2, **config_kw):
+    config_kw.setdefault("flush_enabled", False)
+    config_kw.setdefault("resilience_enabled", True)
+    config = UniviStorConfig.dram_only(**config_kw)
+    sim = Simulation(MachineSpec.small_test(nodes=nodes))
+    sim.install_univistor(config)
+    comm = sim.comm("app", nodes * procs_per_node,
+                    procs_per_node=procs_per_node)
+    return sim, comm
+
+
+def write_blocks(sim, comm, path, block=BLOCK, sync=True):
+    def app():
+        fh = yield from sim.open(comm, path, "w", fstype="univistor")
+        yield from fh.write_at_all([
+            IORequest.contiguous_block(r, block, PatternPayload(r))
+            for r in range(comm.size)])
+        yield from fh.close()
+        if sync:
+            yield from fh.sync()
+        return fh
+
+    return sim.run_to_completion(app())
+
+
+def read_all(sim, comm, path, block=BLOCK):
+    def app():
+        fh = yield from sim.open(comm, path, "r", fstype="univistor")
+        data = yield from fh.read_at_all([
+            IORequest(r, r * block, block) for r in range(comm.size)])
+        yield from fh.close()
+        return data
+
+    return sim.run_to_completion(app())
+
+
+def assert_correct(comm, data, block=BLOCK):
+    for r in range(comm.size):
+        blob = b"".join(e.materialize() for e in data[r])
+        assert blob == PatternPayload(r).materialize(0, block), \
+            f"rank {r} read wrong bytes"
+
+
+def telemetry_ops(sim):
+    return [r.op for r in sim.telemetry.records]
+
+
+class TestFaultSpecParsing:
+    def test_scheduled_events(self):
+        spec = FaultSpec.parse(
+            "node-crash@120:node=0;"
+            "device-degrade@60:tier=pfs,factor=0.25,duration=300;"
+            "write-errors@5:tier=shared_bb,count=3")
+        assert spec.events == (
+            Fault(at=120.0, kind="node-crash", target=0),
+            Fault(at=60.0, kind="device-degrade", tier="pfs",
+                  factor=0.25, duration=300.0),
+            Fault(at=5.0, kind="write-errors", tier="shared_bb", count=3),
+        )
+
+    def test_random_knobs(self):
+        spec = FaultSpec.parse(
+            "random:node_crash_rate=0.001,horizon=600,degrade_duration=15")
+        assert spec.node_crash_rate == 0.001
+        assert spec.horizon == 600.0
+        assert spec.degrade_duration == 15.0
+        assert spec.events == ()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec.parse("meteor-strike@10:node=0")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault key"):
+            FaultSpec.parse("node-crash@10:node=0,severity=9")
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            Fault(at=-1.0, kind="node-crash", target=0)
+        with pytest.raises(ValueError):
+            Fault(at=0.0, kind="device-degrade", tier="pfs", factor=1.5)
+        with pytest.raises(ValueError):
+            Fault(at=0.0, kind="node-crash")  # missing target
+        with pytest.raises(ValueError):
+            Fault(at=0.0, kind="device-fail")  # missing tier
+        with pytest.raises(ValueError):
+            FaultSpec(node_crash_rate=0.1)  # rates need a horizon
+
+
+class TestDeterminism:
+    SPEC = FaultSpec(node_crash_rate=0.002, server_crash_rate=0.002,
+                     device_degrade_rate=0.01, horizon=500.0)
+
+    def test_same_seed_identical_timeline(self):
+        sims = [setup()[0] for _ in range(2)]
+        t1, t2 = [sim.install_faults(self.SPEC, seed=42).timeline
+                  for sim in sims]
+        assert t1 == t2
+
+    def test_different_seed_different_timeline(self):
+        sim_a, _ = setup()
+        sim_b, _ = setup()
+        t1 = sim_a.install_faults(self.SPEC, seed=1).timeline
+        t2 = sim_b.install_faults(self.SPEC, seed=2).timeline
+        assert t1 != t2
+
+    def test_faulted_run_fully_reproducible(self):
+        # Same workload + same fault seed -> bit-identical telemetry.
+        spec = FaultSpec(device_degrade_rate=2.0, degrade_factor=0.5,
+                         degrade_duration=0.05, horizon=2.0)
+
+        def run_once():
+            sim, comm = setup()
+            sim.install_faults(spec, seed=9)
+            write_blocks(sim, comm, "/f", block=int(2 * MiB))
+            return [(r.op, r.t_start, r.t_end, r.path, r.nbytes)
+                    for r in sim.telemetry.records]
+
+        assert run_once() == run_once()
+
+
+class TestInjectorMechanics:
+    def test_install_requires_univistor(self):
+        sim = Simulation(MachineSpec.small_test(nodes=2))
+        with pytest.raises(RuntimeError, match="install_univistor"):
+            sim.install_faults(FaultSpec())
+
+    def test_double_install_rejected(self):
+        sim, _ = setup()
+        sim.install_faults(FaultSpec())
+        with pytest.raises(RuntimeError, match="already installed"):
+            sim.install_faults(FaultSpec())
+
+    def test_scheduled_degrade_and_restore(self):
+        sim, _ = setup()
+        spec = FaultSpec(events=(
+            Fault(at=1.0, kind="device-degrade", tier="pfs",
+                  factor=0.25, duration=2.0),))
+        sim.install_faults(spec)
+        lustre_device = sim.machine.lustre.device
+        sim.run(until=1.5)
+        assert lustre_device.degraded
+        assert lustre_device.health == "degraded"
+        sim.run(until=4.0)
+        assert not lustre_device.degraded
+        ops = telemetry_ops(sim)
+        assert "fault-device-degrade" in ops
+        assert "fault-restore" in ops
+
+    def test_node_crash_via_injector(self):
+        sim, comm = setup(metadata_replication=2)
+        write_blocks(sim, comm, "/f")
+        t0 = sim.now
+        sim.install_faults(FaultSpec(events=(
+            Fault(at=t0, kind="node-crash", target=0),)))
+        sim.run(until=t0 + 1.0)
+        system = sim.univistor
+        assert 0 in system.failed_nodes
+        assert {0, 1} <= system.failed_servers
+        ops = telemetry_ops(sim)
+        assert "fault-node-crash" in ops
+        assert "fault-server-crash" in ops
+        assert (sim.fault_injector.applied
+                and sim.fault_injector.applied[0][0] == pytest.approx(t0))
+
+    def test_net_degrade_slows_transfers(self):
+        sim, _ = setup()
+        backbone = sim.machine.network.backbone
+        sim.install_faults(FaultSpec(events=(
+            Fault(at=0.0, kind="net-degrade", factor=0.5, duration=1.0),)))
+        sim.run(until=0.5)
+        assert backbone.degrade_factor == 0.5
+        sim.run(until=2.0)
+        assert backbone.degrade_factor == 1.0
+
+
+class TestFailureRecoveryMatrix:
+    def test_crash_before_replication_loses_data(self):
+        # Metadata replicas keep the lookup working, so the failure is
+        # cleanly the *data* loss (replication had not run yet).
+        sim, comm = setup(metadata_replication=2)
+
+        def app():
+            fh = yield from sim.open(comm, "/f", "w", fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, BLOCK, PatternPayload(r))
+                for r in range(comm.size)])
+            yield from fh.close()
+            # Crash in the same instant: replication never got to run.
+            sim.univistor.crash_node(0)
+            fh2 = yield from sim.open(comm, "/f", "r", fstype="univistor")
+            yield from fh2.read_at_all([IORequest(0, 0, BLOCK)])
+
+        with pytest.raises(DataLossError) as err:
+            sim.run_to_completion(app())
+        assert err.value.node == 0
+        assert "replicate-lost" in telemetry_ops(sim)
+
+    def test_crash_during_replication_recovers(self):
+        sim, comm = setup(metadata_replication=2)
+
+        def app():
+            fh = yield from sim.open(comm, "/f", "w", fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, BLOCK, PatternPayload(r))
+                for r in range(comm.size)])
+            yield from fh.close()
+            # Let the replication pass start (its functional copy is made
+            # up front) but crash before its timed copy finishes.
+            yield sim.engine.timeout(1e-6)
+            sim.univistor.crash_node(0)
+            yield from fh.sync()
+            fh2 = yield from sim.open(comm, "/f", "r", fstype="univistor")
+            data = yield from fh2.read_at_all([
+                IORequest(r, r * BLOCK, BLOCK) for r in range(comm.size)])
+            yield from fh2.close()
+            return data
+
+        data = sim.run_to_completion(app())
+        assert_correct(comm, data)
+
+    def test_crash_after_replication_recovers(self):
+        sim, comm = setup(metadata_replication=2)
+        write_blocks(sim, comm, "/f")  # sync: replication complete
+        sim.univistor.crash_node(0)
+        data = read_all(sim, comm, "/f")
+        assert_correct(comm, data)
+        # The crashed node hosted metadata primaries: reads failed over.
+        assert "metadata-failover" in telemetry_ops(sim)
+
+    def test_metadata_owner_crash_with_replica(self):
+        sim, comm = setup(metadata_replication=2)
+        write_blocks(sim, comm, "/f")
+        # Server 0 owns range 0 (offsets < 64 MiB with the default range
+        # width); its replica lives on server 2 (stride=servers_per_node).
+        sim.univistor.crash_server(0)
+        data = read_all(sim, comm, "/f")
+        assert_correct(comm, data)
+        assert "metadata-failover" in telemetry_ops(sim)
+
+    def test_metadata_owner_crash_without_replica(self):
+        sim, comm = setup(metadata_replication=1)
+        write_blocks(sim, comm, "/f")
+        sim.univistor.crash_server(0)
+        with pytest.raises(MetadataUnavailableError):
+            read_all(sim, comm, "/f")
+
+    def test_whole_replica_set_dead_is_fatal(self):
+        sim, comm = setup(metadata_replication=2)
+        write_blocks(sim, comm, "/f")
+        sim.univistor.crash_server(0)
+        sim.univistor.crash_server(2)  # range 0's only replica
+        with pytest.raises(MetadataUnavailableError):
+            read_all(sim, comm, "/f")
+
+    def test_degraded_bb_placement_falls_to_pfs(self):
+        config = UniviStorConfig.bb_only(flush_enabled=False)
+        sim = Simulation(MachineSpec.small_test(nodes=2))
+        sim.install_univistor(config)
+        comm = sim.comm("app", 4, procs_per_node=2)
+        sim.machine.burst_buffer.device.degrade(0.1)
+        write_blocks(sim, comm, "/f")
+        session = sim.univistor.session("/f")
+        cached = session.cached_bytes_per_tier()
+        from repro.core.config import StorageTier
+        assert cached.get(StorageTier.SHARED_BB, 0.0) == 0.0
+        assert cached.get(StorageTier.PFS, 0.0) == pytest.approx(
+            comm.size * BLOCK)
+        data = read_all(sim, comm, "/f")
+        assert_correct(comm, data)
+
+    def test_restored_bb_accepts_placement_again(self):
+        config = UniviStorConfig.bb_only(flush_enabled=False)
+        sim = Simulation(MachineSpec.small_test(nodes=2))
+        sim.install_univistor(config)
+        comm = sim.comm("app", 4, procs_per_node=2)
+        bb = sim.machine.burst_buffer.device
+        bb.degrade(0.1)
+        write_blocks(sim, comm, "/f")
+        bb.restore()
+        write_blocks(sim, comm, "/g")
+        from repro.core.config import StorageTier
+        cached = sim.univistor.session("/g").cached_bytes_per_tier()
+        assert cached.get(StorageTier.SHARED_BB, 0.0) == pytest.approx(
+            comm.size * BLOCK)
+
+
+class TestRetry:
+    def test_transient_write_errors_retried(self):
+        sim, comm = setup(io_retry_limit=3, io_backoff_base=0.01)
+        sim.machine.burst_buffer.device.inject_write_errors(2)
+        write_blocks(sim, comm, "/f")  # sync waits for replication
+        retries = [op for op in telemetry_ops(sim) if op == "io-retry"]
+        assert len(retries) == 2
+        # The replication still completed despite the injected errors.
+        assert "replicate" in telemetry_ops(sim)
+
+    def test_write_errors_without_retries_fail(self):
+        sim, comm = setup(io_retry_limit=0)
+        sim.machine.burst_buffer.device.inject_write_errors(1)
+        with pytest.raises(TransientIOError):
+            write_blocks(sim, comm, "/f")
+
+    def test_retry_budget_exhaustion_raises(self):
+        sim, comm = setup(io_retry_limit=2, io_backoff_base=0.01)
+        sim.machine.burst_buffer.device.inject_write_errors(5)
+        with pytest.raises(TransientIOError):
+            write_blocks(sim, comm, "/f")
+
+
+class TestAcceptance:
+    """The issue's headline scenario: one node plus one extra
+    metadata-owning server crash mid-run; the hardened configuration
+    completes with correct reads, the paper's baseline demonstrably
+    fails."""
+
+    NODES = 4
+    BLOCK = int(64 * KiB)
+
+    def _run(self, **config_kw):
+        sim, comm = setup(nodes=self.NODES,
+                          metadata_range_size=float(64 * KiB), **config_kw)
+
+        def app():
+            fh = yield from sim.open(comm, "/f", "w", fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, self.BLOCK, PatternPayload(r))
+                for r in range(comm.size)])
+            yield from fh.close()
+            yield from fh.sync()
+            # Mid-run crash of node 0 (servers 0 and 1 plus its storage)
+            # and of server 4, a metadata owner on a surviving node.
+            sim.install_faults(FaultSpec(events=(
+                Fault(at=sim.now, kind="node-crash", target=0),
+                Fault(at=sim.now, kind="server-crash", target=4),
+            )))
+            yield sim.engine.timeout(1e-6)  # let the faults fire
+            fh2 = yield from sim.open(comm, "/f", "r", fstype="univistor")
+            data = yield from fh2.read_at_all([
+                IORequest(r, r * self.BLOCK, self.BLOCK)
+                for r in range(comm.size)])
+            yield from fh2.close()
+            return sim, data
+
+        return sim.run_to_completion(app()), comm
+
+    def test_hardened_run_completes_with_correct_reads(self):
+        (sim, data), comm = self._run(metadata_replication=2,
+                                      io_retry_limit=2)
+        assert_correct(comm, data, block=self.BLOCK)
+        ops = telemetry_ops(sim)
+        assert "fault-node-crash" in ops
+        assert "metadata-failover" in ops
+
+    def test_baseline_run_fails(self):
+        with pytest.raises((DataLossError, MetadataUnavailableError)):
+            self._run(metadata_replication=1, resilience_enabled=False)

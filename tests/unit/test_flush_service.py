@@ -71,7 +71,7 @@ class TestFlushBasics:
                 states.append(sched.flush_active)
                 yield sim.engine.timeout(0.0005)
 
-        snoop = sim.spawn(snooper())
+        sim.spawn(snooper())
         write_and_close(sim, comm, "/f", int(4 * MiB), sync=True)
         assert any(states), "flush window never observed"
         assert not sched.flush_active

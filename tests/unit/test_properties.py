@@ -1,6 +1,5 @@
 """Cross-cutting property-based tests (hypothesis) on core invariants."""
 
-import math
 
 import numpy as np
 import pytest
@@ -9,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.cluster.cpu import (
     CorePlacement,
-    PlacementPolicy,
     ProgramOnNode,
     cpu_availability,
     placement_efficiency,

@@ -7,7 +7,6 @@ from repro import (
     MachineSpec,
     PatternPayload,
     Simulation,
-    StorageTier,
     UniviStorConfig,
 )
 from repro.units import KiB, MiB

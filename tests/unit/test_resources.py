@@ -1,6 +1,5 @@
 """Unit tests for Resource, Store and BandwidthResource."""
 
-import math
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Tests for the figure-report generator (repro.experiments.runall)."""
 
 import json
-import os
 
 import pytest
 

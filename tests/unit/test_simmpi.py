@@ -48,7 +48,7 @@ class TestDatatypes:
 
 class TestCommunicator:
     def test_registers_program_on_nodes(self, machine):
-        comm = Communicator(machine, "app", 8, procs_per_node=4)
+        Communicator(machine, "app", 8, procs_per_node=4)
         assert machine.nodes[0].procs_of("app") == 4
         assert machine.nodes[1].procs_of("app") == 4
 

@@ -1,6 +1,5 @@
 """Unit tests for storage devices, Lustre, burst buffer and the namespace."""
 
-import math
 
 import numpy as np
 import pytest
@@ -16,7 +15,7 @@ from repro.storage import (
     StorageDevice,
     StripingLayout,
 )
-from repro.units import GB, GiB
+from repro.units import GB
 
 
 @pytest.fixture

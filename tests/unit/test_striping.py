@@ -1,6 +1,5 @@
 """Unit + property tests for adaptive striping (Eqs. 2-6)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

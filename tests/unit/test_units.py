@@ -1,6 +1,5 @@
 """Tests for unit helpers and formatting."""
 
-import pytest
 
 from repro.units import (
     GB,

@@ -11,7 +11,7 @@ from repro import (
 )
 from repro.analysis.utilisation import machine_utilisation
 from repro.cli import build_parser, main
-from repro.units import KiB, MiB
+from repro.units import MiB
 
 
 def run_small_job():
