@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Record the simulator's performance trajectory.
+
+Runs the simulator self-benchmarks (``benchmarks/test_simulator_throughput.py``
+— host wall-clock cost of the reproduction itself, *not* simulated I/O rates)
+under ``pytest-benchmark`` and appends one run entry to ``BENCH_simulator.json``
+at the repo root.  Every PR that touches a hot path runs this; the accumulated
+entries are the evidence that the ROADMAP's "as fast as the hardware allows"
+line actually moves.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--label TEXT]
+        [--output PATH] [--dry-run]
+
+``--quick`` runs the two trajectory-gating benches only (the event-kernel
+throughput and the 1024-proc full-stack micro) — what CI runs.  The default
+runs every bench in the suite except the 8192-proc one (opt in with
+``--full``).
+
+Output schema (``BENCH_simulator.json``)::
+
+    {"schema": 1,
+     "runs": [{"label": ..., "timestamp": ..., "git_sha": ...,
+               "host": {"python": ..., "platform": ..., "cpus": ...},
+               "benchmarks": {"<bench name>": {"min": s, "mean": s,
+                                               "stddev": s, "rounds": n}}},
+              ...]}
+
+Entries are append-only; the newest entry is compared against the previous
+one on stdout so a regression is visible in the CI log without downloading
+the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks",
+                          "test_simulator_throughput.py")
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_simulator.json")
+
+#: The two benches whose trajectory gates hot-path PRs (ISSUE 2).
+QUICK_BENCHES = [
+    "test_event_loop_throughput",
+    "test_micro_1024_procs_wall_time",
+]
+
+#: Excluded from the default run: the paper's largest scale is minutes of
+#: wall time and adds nothing the 1024-proc point doesn't show.
+FULL_ONLY_BENCHES = ["test_micro_8192_procs_wall_time"]
+
+
+def git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def host_info() -> dict:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def run_pytest_benchmark(selection: str, json_path: str) -> int:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    cmd = [
+        sys.executable, "-m", "pytest", BENCH_FILE, "-q",
+        "--benchmark-json", json_path,
+        "--benchmark-warmup", "off",
+    ]
+    if selection:
+        cmd += ["-k", selection]
+    print("$", " ".join(cmd), flush=True)
+    return subprocess.run(cmd, cwd=REPO_ROOT, env=env).returncode
+
+
+def collect(json_path: str) -> dict:
+    with open(json_path) as fh:
+        raw = json.load(fh)
+    benches = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        benches[bench["name"]] = {
+            "min": stats["min"],
+            "mean": stats["mean"],
+            "stddev": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return benches
+
+
+def load_trajectory(path: str) -> dict:
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+        if data.get("schema") != 1:
+            raise SystemExit(f"{path}: unknown schema {data.get('schema')!r}")
+        return data
+    return {"schema": 1, "runs": []}
+
+
+def compare(prev: dict, curr: dict) -> None:
+    """Print current-vs-previous per-bench speedups (min wall time)."""
+    print(f"\n{'benchmark':44s} {'prev min':>10s} {'curr min':>10s} "
+          f"{'speedup':>8s}")
+    for name, stats in sorted(curr.items()):
+        before = prev.get(name)
+        if before and stats["min"] > 0:
+            ratio = before["min"] / stats["min"]
+            print(f"{name:44s} {before['min']:10.4f} {stats['min']:10.4f} "
+                  f"{ratio:7.2f}x")
+        else:
+            print(f"{name:44s} {'-':>10s} {stats['min']:10.4f} {'-':>8s}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the trajectory-gating benches "
+                             "(kernel + 1024-proc micro); what CI runs")
+    parser.add_argument("--full", action="store_true",
+                        help="include the 8192-proc micro (slow)")
+    parser.add_argument("--label", default="",
+                        help="free-form tag stored with the run entry")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="trajectory file (default: BENCH_simulator.json)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="run and compare but do not write the file")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        selection = " or ".join(QUICK_BENCHES)
+    elif args.full:
+        selection = ""
+    else:
+        selection = " and ".join(f"not {b}" for b in FULL_ONLY_BENCHES)
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_path = tmp.name
+    try:
+        rc = run_pytest_benchmark(selection, json_path)
+        if rc != 0:
+            print(f"benchmark suite failed (exit {rc})", file=sys.stderr)
+            return rc
+        benches = collect(json_path)
+    finally:
+        os.unlink(json_path)
+    if not benches:
+        print("no benchmarks matched the selection", file=sys.stderr)
+        return 2
+
+    trajectory = load_trajectory(args.output)
+    entry = {
+        "label": args.label,
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "git_sha": git_sha(),
+        "host": host_info(),
+        "benchmarks": benches,
+    }
+    if trajectory["runs"]:
+        compare(trajectory["runs"][-1]["benchmarks"], benches)
+    else:
+        compare({}, benches)
+    if args.dry_run:
+        print("\n--dry-run: trajectory not updated")
+        return 0
+    trajectory["runs"].append(entry)
+    with open(args.output, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    print(f"\nappended run #{len(trajectory['runs'])} to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,8 @@ Run:  python examples/compare_systems.py [procs]
 
 import sys
 
-from repro import Table, fmt_markdown_table
+from repro import Table
+from repro.analysis import fmt_markdown_table
 from repro.experiments.common import build_simulation, io_rate
 from repro.units import MiB, fmt_rate
 from repro.workloads import MicroBench

@@ -18,63 +18,67 @@ Quick start::
     sim.install_univistor(UniviStorConfig.dram_only())
     ...
 
+This module is the **stable public surface** (see ``docs/API.md``,
+"API stability"): exactly the names in ``__all__`` are supported here.
+Everything else lives in its home subpackage — importing a relocated
+name from ``repro`` raises an :class:`AttributeError` that states the
+new import path.
+
 See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
 regeneration of every figure in the paper's evaluation.
 """
 
-from repro.analysis import OpRecord, Table, Telemetry, fmt_markdown_table
-from repro.baselines import (
-    DataElevatorDriver,
-    DataElevatorServers,
-    LustreDirectDriver,
-)
-from repro.cluster import (
-    BurstBufferSpec,
-    LustreSpec,
-    Machine,
-    MachineSpec,
-    NetworkSpec,
-    NodeSpec,
-    SchedulingSpec,
-)
-from repro.core import (
-    StorageTier,
-    UniviStorConfig,
-    UniviStorDriver,
-    UniviStorServers,
-)
-from repro.sim import Engine
-from repro.simmpi import Communicator, File, IORequest
+from repro.analysis.metrics import Telemetry
+from repro.analysis.report import Table
+from repro.cluster.spec import MachineSpec
+from repro.core.config import UniviStorConfig
+from repro.sim.faults import FaultSpec
+from repro.simmpi.mpiio import File, IORequest
 from repro.simulation import Simulation
-from repro.storage import BytesPayload, PatternPayload
+from repro.storage.datamodel import PatternPayload
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
-    "BurstBufferSpec",
-    "BytesPayload",
-    "Communicator",
-    "DataElevatorDriver",
-    "DataElevatorServers",
-    "Engine",
+    "FaultSpec",
     "File",
     "IORequest",
-    "LustreDirectDriver",
-    "LustreSpec",
-    "Machine",
     "MachineSpec",
-    "NetworkSpec",
-    "NodeSpec",
-    "OpRecord",
     "PatternPayload",
-    "SchedulingSpec",
     "Simulation",
-    "StorageTier",
     "Table",
     "Telemetry",
     "UniviStorConfig",
-    "UniviStorDriver",
-    "UniviStorServers",
-    "fmt_markdown_table",
-    "__version__",
 ]
+
+#: Names that used to be re-exported here; each maps to the module that
+#: now owns it.  ``__getattr__`` turns a stale top-level import into an
+#: error message carrying the new path.
+_MOVED = {
+    "BurstBufferSpec": "repro.cluster",
+    "BytesPayload": "repro.storage",
+    "Communicator": "repro.simmpi",
+    "DataElevatorDriver": "repro.baselines",
+    "DataElevatorServers": "repro.baselines",
+    "Engine": "repro.sim",
+    "LustreDirectDriver": "repro.baselines",
+    "LustreSpec": "repro.cluster",
+    "Machine": "repro.cluster",
+    "NetworkSpec": "repro.cluster",
+    "NodeSpec": "repro.cluster",
+    "OpRecord": "repro.analysis",
+    "SchedulingSpec": "repro.cluster",
+    "StorageTier": "repro.core",
+    "UniviStorDriver": "repro.core",
+    "UniviStorServers": "repro.core",
+    "fmt_markdown_table": "repro.analysis",
+}
+
+
+def __getattr__(name):
+    if name in _MOVED:
+        raise AttributeError(
+            f"{name!r} is not part of the stable public API of 'repro'; "
+            f"import it from its home module instead: "
+            f"'from {_MOVED[name]} import {name}'")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

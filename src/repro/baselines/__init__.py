@@ -13,7 +13,16 @@
   attributes UniviStor's wins to.
 """
 
-from repro.baselines.data_elevator import DataElevatorDriver, DataElevatorServers
+from repro.baselines.data_elevator import (
+    DataElevatorConfig,
+    DataElevatorDriver,
+    DataElevatorServers,
+)
 from repro.baselines.lustre_direct import LustreDirectDriver
 
-__all__ = ["DataElevatorDriver", "DataElevatorServers", "LustreDirectDriver"]
+__all__ = [
+    "DataElevatorConfig",
+    "DataElevatorDriver",
+    "DataElevatorServers",
+    "LustreDirectDriver",
+]

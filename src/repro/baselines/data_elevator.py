@@ -30,18 +30,35 @@ from repro.simmpi.adio import ADIODriver, OpenContext
 from repro.simmpi.mpiio import IORequest
 from repro.storage.posix import SimFile
 
-__all__ = ["DataElevatorServers", "DataElevatorDriver"]
+__all__ = ["DataElevatorConfig", "DataElevatorServers", "DataElevatorDriver"]
 
 DE_PROGRAM = "data-elevator-server"
+
+
+@dataclass(frozen=True)
+class DataElevatorConfig:
+    """Deployment knobs for the Data Elevator baseline.
+
+    Mirrors :class:`~repro.core.config.UniviStorConfig` so both systems
+    install the same way: ``sim.install_data_elevator(config)``.
+    """
+
+    servers_per_node: int = 2  # the evaluation runs 2 per node (§III-A)
+
+    def __post_init__(self):
+        if self.servers_per_node < 1:
+            raise ValueError("servers_per_node must be >= 1")
 
 
 class DataElevatorServers:
     """The Data Elevator server program (2 per node, like the evaluation)."""
 
-    def __init__(self, machine: Machine, servers_per_node: int = 2):
+    def __init__(self, machine: Machine,
+                 config: Optional[DataElevatorConfig] = None):
         self.machine = machine
         self.engine = machine.engine
-        self.servers_per_node = servers_per_node
+        self.config = config or DataElevatorConfig()
+        self.servers_per_node = servers_per_node = self.config.servers_per_node
         if machine.burst_buffer is None:
             raise ValueError("Data Elevator requires a shared burst buffer")
         machine.register_program(DE_PROGRAM,

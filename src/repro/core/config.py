@@ -19,16 +19,24 @@ class StorageTier(enum.Enum):
     SHARED_BB = "shared_bb"
     PFS = "pfs"
 
+    # ``is_node_local`` is consulted per metadata record on the read hot
+    # path; a plain member attribute (filled in below) beats recomputing
+    # tuple membership on every access.
     @property
     def is_node_local(self) -> bool:
-        return self in (StorageTier.DRAM, StorageTier.LOCAL_SSD)
+        return self._node_local
 
     @property
     def is_shared(self) -> bool:
-        return not self.is_node_local
+        return not self._node_local
 
 
-@dataclass(frozen=True)
+for _tier in StorageTier:
+    _tier._node_local = _tier in (StorageTier.DRAM, StorageTier.LOCAL_SSD)
+del _tier
+
+
+@dataclass(frozen=True, kw_only=True)
 class UniviStorConfig:
     """Everything a UniviStor deployment can toggle.
 
@@ -38,6 +46,10 @@ class UniviStorConfig:
     ``workflow_enabled`` is the ``ENABLE_WORKFLOW`` environment variable of
     §II-E, and ``cache_tiers`` selects the UniviStor/DRAM vs UniviStor/BB
     vs UniviStor/(DRAM+BB) configurations of §III.
+
+    All fields are **keyword-only**: flag sets read unambiguously at call
+    sites and new fields can be inserted in section order without
+    breaking positional callers.
     """
 
     #: Caching tiers in spill order (fastest first).  The PFS is always the

@@ -20,7 +20,7 @@ When every replica of a range is dead the range is gone:
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.config import StorageTier
@@ -57,11 +57,14 @@ class MetadataRecord:
 
     def slice(self, start: int, end: int) -> "MetadataRecord":
         """Sub-record for [start, end) ⊆ [offset, end); VA advances too."""
-        if not (self.offset <= start < end <= self.end):
+        if not (self.offset <= start < end <= self.offset + self.length):
             raise ValueError(f"slice [{start}, {end}) outside record "
                              f"[{self.offset}, {self.end})")
-        return replace(self, offset=start, length=end - start,
-                       va=self.va + (start - self.offset))
+        # Direct construction: dataclasses.replace re-introspects fields
+        # on every call and slice() sits on the lookup/insert hot paths.
+        return MetadataRecord(self.fid, start, end - start, self.proc_id,
+                              self.va + (start - self.offset), self.tier,
+                              self.node_id)
 
 
 class MetadataService:
@@ -124,6 +127,10 @@ class MetadataService:
         set is dead; fires :attr:`on_failover` when the primary is not
         the one answering.
         """
+        if self.replication == 1 and not self.failed_servers:
+            # Fast path: unreplicated healthy cluster — the primary *is*
+            # the replica set, no list to build.
+            return range_index % self.n_servers
         replicas = self.replica_servers(range_index)
         for server in replicas:
             if server not in self.failed_servers:
@@ -236,6 +243,7 @@ class MetadataService:
         found: List[MetadataRecord] = []
         first = int(offset // self.range_size)
         last = int((end - 1) // self.range_size)
+        bisect_left = bisect.bisect_left
         for range_index in range(first, last + 1):
             sub_lo = max(offset, int(range_index * self.range_size))
             sub_hi = min(end, int((range_index + 1) * self.range_size))
@@ -245,16 +253,26 @@ class MetadataService:
             if store is None:
                 continue
             starts, recs = store
-            lo = bisect.bisect_left(starts, sub_lo)
+            lo = bisect_left(starts, sub_lo)
             if lo > 0 and recs[lo - 1].end > sub_lo:
                 lo -= 1
-            for rec in recs[lo:]:
-                if rec.offset >= sub_hi:
-                    break
-                if rec.end <= sub_lo:
+            # Upper bound by bisect too: iterating a tail *slice* copied
+            # O(records-per-server) per lookup.
+            hi = bisect_left(starts, sub_hi, lo)
+            for i in range(lo, hi):
+                rec = recs[i]
+                rec_end = rec.offset + rec.length
+                if rec_end <= sub_lo:
                     continue
-                found.append(rec.slice(max(rec.offset, sub_lo),
-                                       min(rec.end, sub_hi)))
+                if rec.offset >= sub_lo and rec_end <= sub_hi:
+                    # Fully-covered record: the clip is the identity and
+                    # records are frozen, so share instead of copying.
+                    # (The common case — inserts split at range
+                    # boundaries, so aligned reads never clip.)
+                    found.append(rec)
+                else:
+                    found.append(rec.slice(max(rec.offset, sub_lo),
+                                           min(rec_end, sub_hi)))
         found.sort(key=lambda r: r.offset)
         return found, touched
 

@@ -78,8 +78,10 @@ class ReadService:
         the resilience replicas (when enabled) or raise
         :class:`~repro.core.resilience.DataLossError`.
         """
-        if (record.tier.is_node_local
-                and record.node_id in self.system.failed_nodes):
+        # Failed-node set first: it is almost always empty, which
+        # short-circuits past the tier property on the per-record path.
+        if (record.node_id in self.system.failed_nodes
+                and record.tier.is_node_local):
             from repro.core.resilience import DataLossError
             if not self.system.config.resilience_enabled:
                 raise DataLossError(
@@ -113,6 +115,9 @@ class ReadService:
         local_bytes_by_node: Dict[tuple, float] = {}
         remote_bytes_by_source: Dict[int, float] = {}
 
+        failed_nodes = self.system.failed_nodes
+        lookups_per_server = breakdown.lookups_per_server
+        resolve = self.resolve
         for req in requests:
             if req.length == 0:
                 results[req.rank] = []
@@ -120,8 +125,7 @@ class ReadService:
             records, servers = metadata.lookup(session.fid, req.offset,
                                                req.length)
             for s in servers:
-                breakdown.lookups_per_server[s] = (
-                    breakdown.lookups_per_server.get(s, 0) + 1)
+                lookups_per_server[s] = lookups_per_server.get(s, 0) + 1
             covered = sum(r.length for r in records)
             if covered < req.length:
                 raise ValueError(
@@ -130,9 +134,9 @@ class ReadService:
             extents: List[Extent] = []
             reader_node = comm.node_of_rank(req.rank)
             for record in records:
-                extents.extend(self.resolve(session, record))
-                if (record.tier.is_node_local
-                        and record.node_id in self.system.failed_nodes):
+                extents.extend(resolve(session, record))
+                if (record.node_id in failed_nodes
+                        and record.tier.is_node_local):
                     # Fail-over: served from the BB replica.
                     breakdown.bb_bytes += record.length
                     breakdown.bb_ranks.add(req.rank)

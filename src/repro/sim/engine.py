@@ -16,7 +16,7 @@ simulation is a pure function of its inputs.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
@@ -96,7 +96,11 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.engine._schedule(self)
+        # Open-coded Engine._schedule: succeed() is the hottest trigger
+        # path (every resource grant and transfer completion lands here).
+        engine = self.engine
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._queue, (engine._now, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -107,7 +111,9 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.engine._schedule(self)
+        engine = self.engine
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._queue, (engine._now, seq, self))
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -127,24 +133,35 @@ class Timeout(Event):
                  name: str = ""):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(engine, name=name)
-        self.delay = delay
+        # Open-coded Event.__init__ + Engine._schedule: one Timeout per
+        # modelled latency hop makes this the most-allocated event kind.
+        self.engine = engine
+        self.callbacks = []
         self._ok = True
         self._value = value
-        engine._schedule(self, delay=delay)
+        self.name = name
+        self.delay = delay
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._queue, (engine._now + delay, seq, self))
 
 
-class Initialize(Event):
-    """Internal event used to start a new process."""
+class Initialize:
+    """Internal bootstrap scheduled to make a new process take its first
+    step.  Deliberately *not* an :class:`Event`: only the scheduler (pops
+    it, runs its callback) and :meth:`Process._resume` (reads ``_ok`` /
+    ``_value``) ever see it, so the successful outcome lives on the class
+    and starting a process allocates one slot plus one list.
+    """
 
-    __slots__ = ()
+    __slots__ = ("callbacks",)
+
+    _ok = True
+    _value = None
 
     def __init__(self, engine: "Engine", process: "Process"):
-        super().__init__(engine)
-        self.callbacks.append(process._resume)
-        self._ok = True
-        self._value = None
-        engine._schedule(self)
+        self.callbacks = [process._resume]
+        engine._seq = seq = engine._seq + 1
+        heappush(engine._queue, (engine._now, seq, self))
 
 
 class Process(Event):
@@ -155,7 +172,7 @@ class Process(Event):
     Other processes may therefore ``yield`` a process to join it.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_send", "_throw")
 
     def __init__(self, engine: "Engine", generator: Generator,
                  name: str = ""):
@@ -163,6 +180,10 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(engine, name=name or getattr(generator, "__name__", ""))
         self._generator = generator
+        # Bound methods cached once: _resume runs per yield, and the
+        # attribute chain through the generator costs there.
+        self._send = generator.send
+        self._throw = generator.throw
         self._target: Optional[Event] = Initialize(engine, self)
 
     @property
@@ -190,43 +211,41 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.engine._active_process = self
+        engine = self.engine
+        engine._active_process = self
+        send = self._send
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
-                    exc = event._value
-                    if isinstance(exc, Interrupt):
-                        next_event = self._generator.throw(exc)
-                    else:
-                        next_event = self._generator.throw(exc)
+                    next_event = self._throw(event._value)
             except StopIteration as stop:
                 self._target = None
-                self.engine._active_process = None
+                engine._active_process = None
                 super().succeed(stop.value)
                 return
             except BaseException as err:
                 self._target = None
-                self.engine._active_process = None
-                if self.engine.strict and self.callbacks:
+                engine._active_process = None
+                if engine.strict and self.callbacks:
                     # Someone is joining this process: deliver the failure
                     # to them instead of crashing the whole simulation.
                     super().fail(err)
                     return
-                if self.engine.strict:
+                if engine.strict:
                     super().fail(err)
-                    self.engine._record_crash(self, err)
+                    engine._record_crash(self, err)
                     return
                 raise
 
             if not isinstance(next_event, Event):
-                self.engine._active_process = None
+                engine._active_process = None
                 raise SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
-            if next_event.engine is not self.engine:
-                self.engine._active_process = None
+            if next_event.engine is not engine:
+                engine._active_process = None
                 raise SimulationError("yielded an event from a different engine")
 
             if next_event.callbacks is None:
@@ -235,7 +254,7 @@ class Process(Event):
                 continue
             next_event.callbacks.append(self._resume)
             self._target = next_event
-            self.engine._active_process = None
+            engine._active_process = None
             return
 
 
@@ -354,26 +373,35 @@ class Engine:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, seq, event))
 
     def _record_crash(self, process: Process, err: BaseException) -> None:
         self._crashes.append((process, err))
 
     # -- the loop ------------------------------------------------------------
+    # ``run``/``run_process`` open-code the pop-and-dispatch of ``step``
+    # with the queue bound to a local: the loop body runs once per event
+    # and the method-call + attribute overhead dominates kernel cost.
+    # Dispatch order is exactly step()'s, so determinism is unaffected.
+
     def step(self) -> None:
         """Process the single next event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _seq, event = heappop(self._queue)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
         if callbacks:
-            for callback in callbacks:
-                callback(event)
+            if len(callbacks) == 1:
+                # Single waiter is the overwhelmingly common case.
+                callbacks[0](event)
+            else:
+                for callback in callbacks:
+                    callback(event)
 
     def peek(self) -> float:
         """Simulated time of the next event, or ``inf`` if none."""
@@ -383,27 +411,59 @@ class Engine:
         """Run until the queue drains or simulated time reaches ``until``."""
         if until is not None and until < self._now:
             raise ValueError(f"until={until} lies in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
-                break
-            self.step()
+        queue = self._queue
+        pop = heappop
+        if until is None:
+            while queue:
+                when, _seq, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
         else:
-            if until is not None:
-                self._now = until
+            while queue:
+                if queue[0][0] > until:
+                    break
+                when, _seq, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+            self._now = until
         self._raise_unobserved_crash()
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Convenience: spawn ``generator``, run to completion, return value."""
         proc = self.process(generator, name=name)
-        while not proc.triggered:
-            if not self._queue:
+        queue = self._queue
+        pop = heappop
+        while proc._value is _PENDING:
+            if not queue:
                 raise SimulationError(
                     f"deadlock: process {proc.name!r} is blocked and no events remain"
                 )
-            self.step()
+            when, _seq, event = pop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None  # mark processed
+            if callbacks:
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
         self._raise_unobserved_crash()
-        if not proc.ok:
+        if not proc._ok:
             raise proc._value
         return proc._value
 

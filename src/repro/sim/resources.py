@@ -180,6 +180,10 @@ class BandwidthResource:
         self._flows: List[Flow] = []
         self._last_update = engine.now
         self._wake_version = 0
+        # Incremental bookkeeping: live flows with a finite per-stream
+        # cap.  Zero (the common case) lets rescheduling skip the
+        # water-filling machinery entirely.
+        self._capped_flows = 0
         # Health scaling in (0, 1]: fault injection throttles the whole
         # pipe (stragglers, brownouts); applies to in-flight flows too.
         self._degrade_factor = 1.0
@@ -268,6 +272,8 @@ class BandwidthResource:
     def _admit(self, flow: Flow) -> None:
         self._advance()
         self._flows.append(flow)
+        if flow.per_stream_cap != math.inf:
+            self._capped_flows += 1
         self._reschedule()
 
     def _advance(self) -> None:
@@ -287,12 +293,25 @@ class BandwidthResource:
         flows = self._flows
         if not flows:
             return
+        degrade = self._degrade_factor
+        if self._capped_flows == 0 and self.contention_model is None:
+            # Fast path (the common case): with no finite per-stream cap
+            # the water level is a single division — no per-call dicts,
+            # no candidate lists.  Arithmetic is bit-identical to the
+            # general path's uncapped first round.
+            total_weight = sum(f.streams * f.weight for f in flows)
+            if total_weight <= 0:  # pragma: no cover - defensive
+                return
+            fair = self.bandwidth / total_weight
+            for f in flows:
+                f.rate = fair * f.weight * f.efficiency * degrade
+            return
         effs: Dict[Flow, float] = {}
         if self.contention_model is not None:
             effs = self.contention_model(self, flows)
         # Water-filling over weighted streams.
         remaining_bw = self.bandwidth
-        unallocated = list(flows)
+        unallocated = flows
         shares: Dict[Flow, float] = {}
         while unallocated:
             total_weight = sum(f.streams * f.weight for f in unallocated)
@@ -308,15 +327,17 @@ class BandwidthResource:
             for f in capped:
                 shares[f] = f.per_stream_cap
                 remaining_bw -= f.per_stream_cap * f.streams
-                unallocated.remove(f)
+            # One-pass filter instead of per-flow list.remove: the
+            # round used to go quadratic when many caps bind at once.
+            capped_set = set(capped)
+            unallocated = [f for f in unallocated if f not in capped_set]
             remaining_bw = max(0.0, remaining_bw)
         for f in flows:
             eff = effs.get(f, 1.0)
             if not (0.0 < eff <= 1.0):
                 raise SimulationError(
                     f"contention model returned efficiency {eff} for {f!r}")
-            f.rate = (shares.get(f, 0.0) * eff * f.efficiency
-                      * self._degrade_factor)
+            f.rate = shares.get(f, 0.0) * eff * f.efficiency * degrade
 
     def _min_dt(self) -> float:
         """Smallest time step representable around the current sim time.
@@ -332,12 +353,22 @@ class BandwidthResource:
         # Complete any flow that has drained — or whose tail would take
         # less than one representable time step to drain.
         min_dt = self._min_dt()
-        done = [f for f in self._flows
+        flows = self._flows
+        done = [f for f in flows
                 if f.remaining <= _EPS_BYTES
                 or (f.rate > 0 and f.remaining <= f.rate * min_dt)]
         if done:
+            # Batch removal: a barrier-synchronised collective completes
+            # all its flows on one wake-up, and per-flow list.remove made
+            # that quadratic in the flow count.
+            if len(done) == len(flows):
+                self._flows = []
+            else:
+                done_set = set(done)
+                self._flows = [f for f in flows if f not in done_set]
             for f in done:
-                self._flows.remove(f)
+                if f.per_stream_cap != math.inf:
+                    self._capped_flows -= 1
                 f.remaining = 0.0
                 f.rate = 0.0
                 f.event.succeed(f)

@@ -18,10 +18,15 @@ Typical use (see ``examples/quickstart.py``)::
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, Generator, Optional
 
 from repro.analysis.metrics import Telemetry
-from repro.baselines.data_elevator import DataElevatorDriver, DataElevatorServers
+from repro.baselines.data_elevator import (
+    DataElevatorConfig,
+    DataElevatorDriver,
+    DataElevatorServers,
+)
 from repro.baselines.lustre_direct import LustreDirectDriver
 from repro.cluster.spec import MachineSpec
 from repro.cluster.topology import Machine
@@ -66,12 +71,37 @@ class Simulation:
                                                self.telemetry))
         return self.univistor
 
-    def install_data_elevator(self, servers_per_node: int = 2
+    def install_data_elevator(self,
+                              config: Optional[DataElevatorConfig] = None,
+                              servers_per_node: Optional[int] = None
                               ) -> DataElevatorServers:
+        """Launch the Data Elevator baseline and register its driver.
+
+        Takes a :class:`~repro.baselines.data_elevator.DataElevatorConfig`,
+        mirroring :meth:`install_univistor`.  The pre-2.0 call forms
+        ``install_data_elevator(2)`` and
+        ``install_data_elevator(servers_per_node=2)`` still work but emit
+        a :class:`DeprecationWarning` (see docs/API.md, "API stability").
+        """
         if self.data_elevator is not None:
             raise RuntimeError("Data Elevator already installed")
-        self.data_elevator = DataElevatorServers(self.machine,
-                                                 servers_per_node)
+        if isinstance(config, int):
+            warnings.warn(
+                "install_data_elevator(servers_per_node) is deprecated; "
+                "pass DataElevatorConfig(servers_per_node=...) instead",
+                DeprecationWarning, stacklevel=2)
+            config = DataElevatorConfig(servers_per_node=config)
+        elif servers_per_node is not None:
+            if config is not None:
+                raise TypeError("pass either a DataElevatorConfig or "
+                                "servers_per_node=, not both")
+            warnings.warn(
+                "install_data_elevator(servers_per_node=...) is deprecated; "
+                "pass DataElevatorConfig(servers_per_node=...) instead",
+                DeprecationWarning, stacklevel=2)
+            config = DataElevatorConfig(servers_per_node=servers_per_node)
+        self.data_elevator = DataElevatorServers(
+            self.machine, config or DataElevatorConfig())
         self.registry.register(DataElevatorDriver(self.data_elevator,
                                                   self.telemetry))
         return self.data_elevator

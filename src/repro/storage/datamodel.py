@@ -254,20 +254,30 @@ class ExtentMap:
         end = offset + length
         out: List[Extent] = []
         cursor = offset
-        lo = bisect.bisect_left(self._starts, offset)
-        if lo > 0 and self._extents[lo - 1].end > offset:
+        starts = self._starts
+        extents = self._extents
+        lo = bisect.bisect_left(starts, offset)
+        if lo > 0 and extents[lo - 1].end > offset:
             lo -= 1
-        for ext in self._extents[lo:]:
-            if ext.offset >= end:
-                break
-            if ext.end <= cursor:
+        # Upper bound by bisect: iterating a tail *slice* copied the
+        # whole remainder of the extent list on every read.
+        hi = bisect.bisect_left(starts, end, lo)
+        for i in range(lo, hi):
+            ext = extents[i]
+            ext_end = ext.offset + ext.length
+            if ext_end <= cursor:
                 continue
             if ext.offset > cursor:
                 out.append(Extent(cursor, ext.offset - cursor, ZeroPayload()))
                 cursor = ext.offset
-            piece = ext.slice(max(ext.offset, cursor), min(ext.end, end))
+            if cursor <= ext.offset and ext_end <= end:
+                # Fully-covered extent: share the frozen object instead
+                # of allocating an identical copy.
+                piece = ext
+            else:
+                piece = ext.slice(max(ext.offset, cursor), min(ext_end, end))
             out.append(piece)
-            cursor = piece.end
+            cursor = piece.offset + piece.length
         if cursor < end:
             out.append(Extent(cursor, end - cursor, ZeroPayload()))
         # Coalesce continuation pieces so reads are provenance-normalised

@@ -9,9 +9,9 @@ from repro import (
     MachineSpec,
     PatternPayload,
     Simulation,
-    StorageTier,
     UniviStorConfig,
 )
+from repro.core import StorageTier
 from repro.cluster.spec import NodeSpec
 from repro.units import GiB, KiB, MiB
 

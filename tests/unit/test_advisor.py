@@ -6,9 +6,9 @@ from repro import (
     MachineSpec,
     PatternPayload,
     Simulation,
-    StorageTier,
     UniviStorConfig,
 )
+from repro.core import StorageTier
 from repro.core.advisor import PlacementAdvisor, StreamStats, stream_key
 from repro.units import KiB
 

@@ -7,9 +7,9 @@ from repro import (
     MachineSpec,
     PatternPayload,
     Simulation,
-    StorageTier,
     UniviStorConfig,
 )
+from repro.core import StorageTier
 from repro.core.workflow import FileState
 from repro.units import KiB, MiB
 

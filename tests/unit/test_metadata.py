@@ -194,3 +194,76 @@ class TestMetadataProperties:
                 first = int(record.offset // svc.range_size)
                 last = int((record.end - 1) // svc.range_size)
                 assert first == last
+
+
+class TestBisectLookupEdgeCases:
+    """The bisect-indexed lookup against range-boundary geometry."""
+
+    def test_window_start_inside_earlier_record(self):
+        # The record starts before the window: bisect lands past it and
+        # the step-back must recover it.
+        svc = MetadataService(4, 1000)
+        svc.insert(rec(0, 500))
+        found, _ = svc.lookup(1, 200, 100)
+        assert [(r.offset, r.length, r.va) for r in found] == [(200, 100, 200)]
+
+    def test_record_ending_at_window_start_excluded(self):
+        svc = MetadataService(4, 1000)
+        svc.insert(rec(0, 200))
+        svc.insert(rec(200, 100))
+        found, _ = svc.lookup(1, 200, 50)
+        assert [(r.offset, r.length) for r in found] == [(200, 50)]
+
+    def test_record_starting_at_window_end_excluded(self):
+        svc = MetadataService(4, 1000)
+        svc.insert(rec(100, 100))
+        svc.insert(rec(200, 100))
+        found, _ = svc.lookup(1, 100, 100)
+        assert [(r.offset, r.length) for r in found] == [(100, 100)]
+
+    def test_exact_range_boundary_touches_both_owners(self):
+        # A lookup spanning a partition boundary is answered by both
+        # range owners, split exactly at the boundary.
+        svc = MetadataService(4, 100)
+        svc.insert(rec(50, 100))  # insert splits at offset 100
+        found, touched = svc.lookup(1, 50, 100)
+        assert [(r.offset, r.length) for r in found] == [(50, 50), (100, 50)]
+        assert touched == {0, 1}
+
+    def test_fully_covered_record_is_shared_not_copied(self):
+        # The identity fast path: an uncut record comes back as the
+        # stored frozen object itself.
+        svc = MetadataService(4, 1000)
+        svc.insert(rec(100, 100))
+        stored = svc._stores[0][1][1][0]
+        found, _ = svc.lookup(1, 0, 1000)
+        assert found[0] is stored
+
+    def test_replicated_lookup_no_duplicates(self):
+        svc = MetadataService(4, 100, replication=2)
+        svc.insert(rec(0, 250))
+        found, touched = svc.lookup(1, 0, 250)
+        assert [(r.offset, r.length) for r in found] == [
+            (0, 100), (100, 100), (200, 50)]
+        # One server per range, primaries when healthy.
+        assert touched == {0, 1, 2}
+
+    def test_failed_primary_fails_over_and_fires_hook(self):
+        svc = MetadataService(4, 100, replication=2)
+        svc.insert(rec(0, 100))
+        failovers = []
+        svc.on_failover = lambda rng, server: failovers.append((rng, server))
+        svc.fail_server(0)
+        found, touched = svc.lookup(1, 0, 100)
+        assert [(r.offset, r.length) for r in found] == [(0, 100)]
+        assert touched == {1}
+        assert failovers == [(0, 1)]
+
+    def test_all_replicas_failed_raises(self):
+        from repro.core.metadata import MetadataUnavailableError
+        svc = MetadataService(4, 100, replication=2)
+        svc.insert(rec(0, 100))
+        svc.fail_server(0)
+        svc.fail_server(1)
+        with pytest.raises(MetadataUnavailableError):
+            svc.lookup(1, 0, 100)

@@ -1,0 +1,106 @@
+"""The stable public surface of the top-level ``repro`` package."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import MachineSpec, Simulation, UniviStorConfig
+from repro.baselines.data_elevator import DataElevatorConfig
+
+PUBLIC = [
+    "FaultSpec",
+    "File",
+    "IORequest",
+    "MachineSpec",
+    "PatternPayload",
+    "Simulation",
+    "Table",
+    "Telemetry",
+    "UniviStorConfig",
+]
+
+
+class TestPublicSurface:
+    def test_all_is_exactly_the_documented_surface(self):
+        assert sorted(repro.__all__) == PUBLIC
+
+    def test_star_import_yields_exactly_all(self):
+        ns = {}
+        exec("from repro import *", ns)
+        imported = sorted(k for k in ns if not k.startswith("__"))
+        assert imported == sorted(repro.__all__)
+
+    def test_every_public_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_moved_symbol_error_names_new_home(self):
+        with pytest.raises(AttributeError, match="from repro.core import "
+                                                 "StorageTier"):
+            repro.StorageTier
+        with pytest.raises(AttributeError, match="from repro.sim import "
+                                                 "Engine"):
+            repro.Engine
+        with pytest.raises(AttributeError, match="from repro.analysis import "
+                                                 "fmt_markdown_table"):
+            repro.fmt_markdown_table
+
+    def test_unknown_attribute_plain_error(self):
+        with pytest.raises(AttributeError, match="no attribute 'bogus'"):
+            repro.bogus
+
+
+class TestConfigKeywordOnly:
+    def test_positional_construction_rejected(self):
+        with pytest.raises(TypeError):
+            UniviStorConfig(())
+
+    def test_keyword_construction_and_variants_work(self):
+        cfg = UniviStorConfig(servers_per_node=4, adaptive_striping=False)
+        assert cfg.servers_per_node == 4
+        assert not cfg.adaptive_striping
+        assert UniviStorConfig.dram_only().cache_tiers
+
+
+class TestInstallDataElevatorForms:
+    def _sim(self):
+        return Simulation(MachineSpec.cori_haswell(nodes=2))
+
+    def test_config_object_form_no_warning(self):
+        sim = self._sim()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            de = sim.install_data_elevator(
+                DataElevatorConfig(servers_per_node=3))
+        assert de.servers_per_node == 3
+        assert de.config.servers_per_node == 3
+
+    def test_default_form_no_warning(self):
+        sim = self._sim()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            de = sim.install_data_elevator()
+        assert de.servers_per_node == 2
+
+    def test_positional_int_form_deprecated_but_works(self):
+        sim = self._sim()
+        with pytest.warns(DeprecationWarning, match="DataElevatorConfig"):
+            de = sim.install_data_elevator(3)
+        assert de.servers_per_node == 3
+
+    def test_keyword_int_form_deprecated_but_works(self):
+        sim = self._sim()
+        with pytest.warns(DeprecationWarning, match="DataElevatorConfig"):
+            de = sim.install_data_elevator(servers_per_node=3)
+        assert de.servers_per_node == 3
+
+    def test_both_forms_together_rejected(self):
+        sim = self._sim()
+        with pytest.raises(TypeError, match="not both"):
+            sim.install_data_elevator(DataElevatorConfig(),
+                                      servers_per_node=3)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DataElevatorConfig(servers_per_node=0)
