@@ -6,6 +6,7 @@ Subcommands::
     repro micro     --procs N --system SYSTEM [--mb-per-proc M] [--read]
     repro vpic      --procs N --system SYSTEM [--steps S] [--compute SEC]
     repro workflow  --procs N --system SYSTEM [--steps S] [--overlap]
+    repro chaos     [--seeds N] [--first-seed S] [--baseline] [--verbose]
     repro figures   [--sweep paper|small|...] [--out DIR] [--only fig6a,..]
 
 ``repro`` is installed as a console script; ``python -m repro.cli`` works
@@ -94,9 +95,12 @@ def _print_fault_report(sim) -> None:
         return
     ops = ("fault-node-crash", "fault-server-crash", "fault-node-storage-lost",
            "fault-device-degrade", "fault-device-fail", "fault-write-errors",
-           "fault-net-degrade", "fault-net-delay", "fault-restore",
-           "metadata-failover", "re-replicate", "io-retry",
-           "replicate-lost", "flush-lost")
+           "fault-net-degrade", "fault-net-delay", "fault-data-corrupt",
+           "fault-restore", "metadata-failover", "re-replicate", "io-retry",
+           "replicate-lost", "replicate-failed", "flush-lost", "flush-failed",
+           "health-suspect", "health-dead", "recovery-takeover",
+           "recovery-replay", "read-corrupt", "scrub", "scrub-repair",
+           "scrub-lost", "scrub-rereplicate")
     rows = [r for r in sim.telemetry.records if r.op in ops]
     print(f"\nfault/recovery telemetry ({len(rows)} events):")
     for r in rows:
@@ -166,6 +170,36 @@ def cmd_workflow(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import run_campaign
+    hardened = not args.baseline
+    mode = "hardened" if hardened else "baseline"
+    campaign = run_campaign(args.seeds, hardened=hardened,
+                            first_seed=args.first_seed)
+    lost = campaign.reads_total - campaign.reads_ok
+    print(f"chaos campaign: {args.seeds} seeds "
+          f"[{args.first_seed}, {args.first_seed + args.seeds}), "
+          f"{mode} configuration")
+    print(f"  reads: {campaign.reads_ok}/{campaign.reads_total} correct "
+          f"({campaign.success_rate:.2%}), {lost} structured losses")
+    print(f"  invariant violations: {len(campaign.violations)}")
+    for violation in campaign.violations:
+        print(f"    VIOLATION {violation}")
+    if args.verbose:
+        for run in campaign.runs:
+            status = "ok" if run.ok else "VIOLATED"
+            print(f"  seed {run.seed:4d}: {run.reads_ok}/{run.reads_total} "
+                  f"reads, {len(run.faults)} faults, {status}  "
+                  f"digest {run.digest[:12]}")
+    if not campaign.ok:
+        print("FAIL: durability invariant violated (silent corruption or "
+              "unhandled exception)")
+        return 1
+    print("OK: every read returned correct bytes or a structured "
+          "DataLossError")
+    return 0
+
+
 def cmd_figures(args) -> int:
     from repro.experiments.runall import main as runall_main
     forwarded: List[str] = []
@@ -228,6 +262,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=5)
     p.add_argument("--overlap", action="store_true")
     p.set_defaults(fn=cmd_workflow)
+
+    p = sub.add_parser("chaos",
+                       help="run the seeded chaos campaign (durability "
+                            "invariant check)")
+    p.add_argument("--seeds", type=int, default=20,
+                   help="number of consecutive seeds to run")
+    p.add_argument("--first-seed", type=int, default=0)
+    p.add_argument("--baseline", action="store_true",
+                   help="disable detection/takeover/scrubbing (PR 1 "
+                        "replication-only story) for comparison")
+    p.add_argument("--verbose", action="store_true",
+                   help="per-seed read counts and digests")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("figures",
                        help="regenerate the paper's figures (runall)")

@@ -305,3 +305,5 @@ class UniviStorDriver(ADIODriver):
         yield from self.system.flush_service.wait(state.session)
         if self.system.config.resilience_enabled:
             yield from self.system.resilience.wait(state.session)
+        if self.system.scrub is not None:
+            yield from self.system.scrub.wait()

@@ -92,6 +92,41 @@ class UniviStorConfig:
     #: §V future work — adapt each new file's caching tiers to observed
     #: usage patterns (write-once files skip the scarce DRAM tier).
     adaptive_placement: bool = False
+    #: Heartbeat-based failure detection: server processes gossip
+    #: heartbeats every ``heartbeat_interval`` seconds; a target that
+    #: misses ``suspect_heartbeats`` consecutive beats is marked suspect,
+    #: one that misses ``dead_heartbeats`` is declared dead and the
+    #: recovery actions fire.  Off (the default) keeps the PR 1 behaviour:
+    #: recovery triggers ride directly on the crash event.
+    health_enabled: bool = False
+    heartbeat_interval: float = 0.05
+    suspect_heartbeats: int = 2
+    dead_heartbeats: int = 4
+    #: Metadata range takeover: when a server is declared dead, every
+    #: offset range that lost a copy with it is reassigned to surviving
+    #: servers and rebuilt by replaying the per-server write-ahead
+    #: journal, so lookups route to the new owner instead of failing over
+    #: per-read forever (and a range whose whole replica set died can
+    #: come back at all).
+    recovery_enabled: bool = False
+    #: Integrity scrubbing: background passes checksum-verify cached log
+    #: chunks and replica files, repair rot from the surviving clean
+    #: copy, and re-replicate volatile segments that lost their replica.
+    scrub_enabled: bool = False
+
+    @staticmethod
+    def hardened(**kw) -> "UniviStorConfig":
+        """Every self-healing mechanism on: the configuration the chaos
+        campaign drives (detection + takeover + scrubbing + replication
+        + bounded retry)."""
+        kw.setdefault("resilience_enabled", True)
+        kw.setdefault("metadata_replication", 2)
+        kw.setdefault("io_retry_limit", 6)
+        kw.setdefault("io_backoff_base", 0.02)
+        kw.setdefault("health_enabled", True)
+        kw.setdefault("recovery_enabled", True)
+        kw.setdefault("scrub_enabled", True)
+        return UniviStorConfig(**kw)
 
     def __post_init__(self):
         if self.servers_per_node < 1:
@@ -108,6 +143,12 @@ class UniviStorConfig:
             raise ValueError("io_backoff_base must be positive")
         if self.io_timeout is not None and self.io_timeout <= 0:
             raise ValueError("io_timeout must be positive (or None)")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.suspect_heartbeats < 1:
+            raise ValueError("suspect_heartbeats must be >= 1")
+        if self.dead_heartbeats < self.suspect_heartbeats:
+            raise ValueError("dead_heartbeats must be >= suspect_heartbeats")
         if StorageTier.PFS in self.cache_tiers:
             raise ValueError("PFS is the implicit destination tier; "
                              "do not list it in cache_tiers")
@@ -150,7 +191,8 @@ class UniviStorConfig:
         valid = {"interference_aware", "collective_open_close",
                  "adaptive_striping", "location_aware_reads",
                  "workflow_enabled", "flush_enabled",
-                 "resilience_enabled", "adaptive_placement"}
+                 "resilience_enabled", "adaptive_placement",
+                 "health_enabled", "recovery_enabled", "scrub_enabled"}
         changes = {}
         for flag in flags:
             if flag not in valid:

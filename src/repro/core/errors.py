@@ -1,0 +1,43 @@
+"""Structured data-loss errors shared across the core subsystems.
+
+:class:`DataLossError` is the system's single "your data is gone" signal:
+reads that touch bytes whose every copy has died, failed checksum
+verification with no clean copy left, and metadata ranges whose whole
+replica set crashed all surface through it (the last via the
+:class:`~repro.core.metadata.MetadataUnavailableError` subclass).  The
+durability invariant the chaos harness asserts is phrased in terms of this
+type: every read either returns correct bytes or raises a structured
+``DataLossError`` — never silent wrong data, never an unhandled exception.
+
+The class lives in its own module so that :mod:`repro.core.metadata` (which
+must not import the resilience machinery) can subclass it without a cycle;
+:mod:`repro.core.resilience` re-exports it under its historical name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["DataLossError"]
+
+
+class DataLossError(RuntimeError):
+    """A read touched data that no surviving copy can serve.
+
+    Carries a structured payload naming exactly what was lost — the
+    file, the source rank, the failed node and the byte range — so
+    callers (and tests) can react to the loss instead of parsing the
+    message.  Fields are ``None`` when the failure mode cannot attribute
+    them (e.g. a lost metadata range knows no single source rank).
+    """
+
+    def __init__(self, message: str, *, fid: Optional[int] = None,
+                 rank: Optional[int] = None, node: Optional[int] = None,
+                 offset: Optional[int] = None,
+                 length: Optional[int] = None):
+        super().__init__(message)
+        self.fid = fid
+        self.rank = rank
+        self.node = node
+        self.offset = offset
+        self.length = length

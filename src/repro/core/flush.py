@@ -22,6 +22,7 @@ from typing import Dict, Generator
 from repro.core.config import StorageTier
 from repro.core.striping import adaptive_plan, default_plan
 from repro.sim.engine import Event
+from repro.storage.device import TransientIOError
 
 __all__ = ["FlushService"]
 
@@ -139,7 +140,21 @@ class FlushService:
                                 tag=f"flush-read-{tier.value}:"
                                     f"{session.path}"),
                             f"flush-read-{tier.value}:{session.path}"))
-            yield self.engine.all_of(flows)
+            try:
+                yield self.engine.all_of(flows)
+            except TransientIOError:
+                # Retry budget exhausted (device brownout outlived the
+                # backoff).  Without recovery the failure propagates (the
+                # PR 1 fail-loud contract); self-healing mode treats the
+                # flush as simply not having happened: leave the flushed
+                # counter alone so the next trigger re-sends, and report
+                # — an unhandled raise in an unobserved background
+                # process would crash the engine.
+                if not config.recovery_enabled:
+                    raise
+                system.telemetry_hook("flush-failed", session.path, pending,
+                                      t_start=t_start)
+                return 0.0
 
             # Functionally materialise the logical file on the PFS.
             self._materialise_to_pfs(session)

@@ -1,0 +1,101 @@
+"""Heartbeat-based failure detection (self-healing extension).
+
+Every UniviStor server process gossips a heartbeat each
+``heartbeat_interval`` seconds.  A target that misses
+``suspect_heartbeats`` consecutive beats is marked **suspect** (telemetry
+only — reads already failing over are simply observed to be doing so); one
+that misses ``dead_heartbeats`` is declared **dead** and the registered
+recovery actions fire (metadata range takeover, re-replication).
+
+The simulation does not tick a perpetual heartbeat process — that would
+keep the event queue non-empty forever and ``engine.run()`` drains to
+quiescence.  Since heartbeats only ever *miss* after a crash, the detector
+is modelled exactly by two bounded timers armed at crash time:
+
+* suspect at ``crash + heartbeat_interval * suspect_heartbeats``
+* dead    at ``crash + heartbeat_interval * dead_heartbeats``
+
+which is byte-identical in observable behaviour to the ticking detector
+(the miss counter can only start counting at the crash) and leaves the
+queue empty once detection completes.
+
+Compared with PR 1's discover-on-read model — where a crash is only
+noticed when a client's lookup happens to touch the dead server — the
+detector bounds the window during which every read of an affected range
+pays the failover, and it is what triggers recovery for ranges *nobody*
+is currently reading.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Set, Tuple
+
+__all__ = ["HealthMonitor"]
+
+#: Lifecycle states a monitored target moves through.
+ALIVE, SUSPECT, DEAD = "alive", "suspect", "dead"
+
+
+class HealthMonitor:
+    """Tracks node/server liveness and fires recovery callbacks on death.
+
+    ``system`` is the :class:`~repro.core.server.UniviStorServers`
+    instance; the monitor uses its engine for the detection timers and its
+    telemetry hook for the ``health-suspect`` / ``health-dead`` records.
+    """
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.engine = system.engine
+        config = system.config
+        self.suspect_delay = (config.heartbeat_interval
+                              * config.suspect_heartbeats)
+        self.dead_delay = config.heartbeat_interval * config.dead_heartbeats
+        #: Fired as ``fn(node_id)`` / ``fn(server_id)`` when a target is
+        #: declared dead.  RecoveryService registers here.
+        self.on_node_dead: List[Callable[[int], None]] = []
+        self.on_server_dead: List[Callable[[int], None]] = []
+        # ("node"|"server", id) -> lifecycle state
+        self._states: dict = {}
+        self._noted: Set[Tuple[str, int]] = set()
+
+    def state_of(self, kind: str, target: int) -> str:
+        """Current lifecycle state of ``("node"|"server", id)``."""
+        return self._states.get((kind, target), ALIVE)
+
+    # -- crash notifications (called by UniviStorServers) ------------------
+    def note_server_crash(self, server_id: int) -> None:
+        """A server process stopped heartbeating: arm the detection timers."""
+        self._note("server", server_id)
+
+    def note_node_crash(self, node_id: int) -> None:
+        """A whole node stopped heartbeating (its servers are noted
+        separately by the crash path)."""
+        self._note("node", node_id)
+
+    def _note(self, kind: str, target: int) -> None:
+        key = (kind, target)
+        if key in self._noted:
+            return
+        self._noted.add(key)
+        self.engine.call_later(self.suspect_delay,
+                               lambda _ev: self._mark_suspect(kind, target))
+        self.engine.call_later(self.dead_delay,
+                               lambda _ev: self._mark_dead(kind, target))
+
+    # -- state transitions -------------------------------------------------
+    def _mark_suspect(self, kind: str, target: int) -> None:
+        if self._states.get((kind, target)) is not None:
+            return
+        self._states[(kind, target)] = SUSPECT
+        self.system.telemetry_hook("health-suspect", f"{kind}:{target}", 0.0)
+
+    def _mark_dead(self, kind: str, target: int) -> None:
+        if self._states.get((kind, target)) == DEAD:
+            return
+        self._states[(kind, target)] = DEAD
+        self.system.telemetry_hook("health-dead", f"{kind}:{target}", 0.0)
+        callbacks = (self.on_node_dead if kind == "node"
+                     else self.on_server_dead)
+        for fn in callbacks:
+            fn(target)

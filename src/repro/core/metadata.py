@@ -15,6 +15,17 @@ to every live replica; a client computes the replica set locally and reads
 from the first live member — owner death costs nothing but the failover.
 When every replica of a range is dead the range is gone:
 :class:`MetadataUnavailableError`.
+
+Recovery (self-healing extension): every accepted insert is also appended
+to a **write-ahead journal** on durable shared storage, partitioned by
+offset range (each server journals the ranges it owns; the segments
+transfer with the range on takeover).  :meth:`recover_server` — driven by
+the failure detector through :class:`~repro.core.recovery.RecoveryService`
+— reassigns every range that lost a copy with the dead server to surviving
+servers and rebuilds the missing copies by replaying the journal, so
+lookups route to the new owner instead of failing over per-read forever,
+and a range whose *whole* replica set died comes back instead of raising
+``MetadataUnavailableError`` until the end of time.
 """
 
 from __future__ import annotations
@@ -24,12 +35,18 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.config import StorageTier
+from repro.core.errors import DataLossError
 
 __all__ = ["MetadataRecord", "MetadataService", "MetadataUnavailableError"]
 
 
-class MetadataUnavailableError(RuntimeError):
-    """Every replica of a metadata range has failed — its records are gone."""
+class MetadataUnavailableError(DataLossError):
+    """Every replica of a metadata range has failed — its records are gone.
+
+    A :class:`~repro.core.errors.DataLossError` subclass: losing the map
+    to the data is losing the data, and the chaos harness's durability
+    invariant treats both identically.
+    """
 
 
 @dataclass(frozen=True)
@@ -98,6 +115,16 @@ class MetadataService:
         # server -> fid -> (sorted start offsets, records)
         self._stores: List[Dict[int, Tuple[List[int], List[MetadataRecord]]]] = [
             dict() for _ in range(n_servers)]
+        # Write-ahead journal, partitioned by range: every accepted insert
+        # piece, in arrival order.  Models the durable per-server journal
+        # segments on shared storage — it survives ``fail_server`` (which
+        # only loses the in-memory partition) and is what ``recover_server``
+        # replays to rebuild a range on its new owner.
+        self._journal: Dict[int, List[MetadataRecord]] = {}
+        # Ranges whose replica set was rewritten by a takeover.  Absent
+        # entries use the computed round-robin set, so the healthy-cluster
+        # routing (and its cost accounting) is bit-identical to before.
+        self._range_replicas: Dict[int, List[int]] = {}
 
     @property
     def record_count(self) -> int:
@@ -112,7 +139,15 @@ class MetadataService:
         return int(offset // self.range_size) % self.n_servers
 
     def replica_servers(self, range_index: int) -> List[int]:
-        """Replica set of a range, primary first (client-computable)."""
+        """Replica set of a range, primary first.
+
+        Client-computable from the range index alone on a healthy cluster;
+        after a takeover the rewritten set is served from the (replicated)
+        assignment table instead.
+        """
+        override = self._range_replicas.get(range_index)
+        if override is not None:
+            return list(override)
         out: List[int] = []
         for k in range(self.replication):
             server = (range_index + k * self.replica_stride) % self.n_servers
@@ -174,6 +209,9 @@ class MetadataService:
 
         With replication every live replica of the piece's range receives
         a copy; a range whose whole replica set is dead rejects the write.
+        Accepted pieces are appended to the range's write-ahead journal
+        (after the liveness check: a rejected write must not be
+        resurrected by a later takeover replay).
         """
         touched: Set[int] = set()
         for piece in self._split_by_range(record):
@@ -183,7 +221,9 @@ class MetadataService:
             if not alive:
                 raise MetadataUnavailableError(
                     f"metadata range {range_index} lost: all replicas "
-                    f"{self.replica_servers(range_index)} have failed")
+                    f"{self.replica_servers(range_index)} have failed",
+                    fid=piece.fid, offset=piece.offset, length=piece.length)
+            self._journal.setdefault(range_index, []).append(piece)
             for server in alive:
                 touched.add(server)
                 self._insert_piece(server, piece)
@@ -224,7 +264,65 @@ class MetadataService:
             if fid in store:
                 touched.add(server)
                 del store[fid]
+        for range_index, entries in list(self._journal.items()):
+            kept = [p for p in entries if p.fid != fid]
+            if len(kept) != len(entries):
+                if kept:
+                    self._journal[range_index] = kept
+                else:
+                    del self._journal[range_index]
         return touched
+
+    # -- recovery (range takeover) -----------------------------------------
+    def journal_records(self, range_index: int) -> List[MetadataRecord]:
+        """The write-ahead journal of a range, in arrival order."""
+        return list(self._journal.get(range_index, ()))
+
+    def recover_server(self, dead: int) -> List[Tuple[int, int]]:
+        """Reassign every range that lost a copy with server ``dead``.
+
+        For each journaled range whose replica set includes a failed
+        server: keep the surviving members (their copies are already
+        current), pick replacement servers round-robin from the live
+        cluster, and rebuild each replacement's copy by replaying the
+        range's write-ahead journal in arrival order.  Survivors stay at
+        the head of the new set, so a range with any live copy keeps
+        answering from it and the replay only fills the spare.
+
+        Returns ``(range_index, new_primary)`` for every range whose
+        assignment changed.  Idempotent: a second call for the same death
+        finds the rewritten sets already free of failed members.
+        """
+        if not 0 <= dead < self.n_servers:
+            raise ValueError(f"no server {dead}")
+        actions: List[Tuple[int, int]] = []
+        for range_index in sorted(self._journal):
+            candidates = self.replica_servers(range_index)
+            if dead not in candidates:
+                continue
+            alive = [s for s in candidates if s not in self.failed_servers]
+            need = self.replication - len(alive)
+            spares: List[int] = []
+            for k in range(self.n_servers):
+                if len(spares) >= need:
+                    break
+                server = (range_index + k) % self.n_servers
+                if server in self.failed_servers or server in alive:
+                    continue
+                spares.append(server)
+            for server in spares:
+                self._replay(range_index, server)
+            new_set = alive + spares
+            if not new_set:
+                continue  # whole cluster down for this range: stays lost
+            self._range_replicas[range_index] = new_set
+            actions.append((range_index, new_set[0]))
+        return actions
+
+    def _replay(self, range_index: int, server: int) -> None:
+        """Rebuild one range's partition on ``server`` from the journal."""
+        for piece in self._journal.get(range_index, ()):
+            self._insert_piece(server, piece)
 
     # -- lookup ------------------------------------------------------------
     def lookup(self, fid: int, offset: int,
@@ -247,7 +345,15 @@ class MetadataService:
         for range_index in range(first, last + 1):
             sub_lo = max(offset, int(range_index * self.range_size))
             sub_hi = min(end, int((range_index + 1) * self.range_size))
-            server = self.read_server_of(range_index)
+            try:
+                server = self.read_server_of(range_index)
+            except MetadataUnavailableError as err:
+                # Range-level detection, request-level reporting: attach
+                # what the caller was actually asking for.
+                err.fid = fid
+                err.offset = sub_lo
+                err.length = sub_hi - sub_lo
+                raise
             touched.add(server)
             store = self._stores[server].get(fid)
             if store is None:

@@ -27,7 +27,7 @@ from repro.core.config import StorageTier
 from repro.core.metadata import MetadataRecord
 from repro.simmpi.comm import Communicator
 from repro.simmpi.mpiio import IORequest
-from repro.storage.datamodel import Extent
+from repro.storage.datamodel import CorruptPayload, Extent, ZeroPayload
 
 __all__ = ["ReadService", "ReadBreakdown"]
 
@@ -82,15 +82,7 @@ class ReadService:
         # short-circuits past the tier property on the per-record path.
         if (record.node_id in self.system.failed_nodes
                 and record.tier.is_node_local):
-            from repro.core.resilience import DataLossError
-            if not self.system.config.resilience_enabled:
-                raise DataLossError(
-                    f"{session.path}: [{record.offset}, +{record.length}) "
-                    f"lived only on failed node {record.node_id}",
-                    fid=record.fid, rank=record.proc_id,
-                    node=record.node_id, offset=record.offset,
-                    length=record.length)
-            return self.system.resilience.resolve_replica(session, record)
+            return self.resolve_degraded(session, record)
         writer = session.writers.get(record.proc_id)
         if writer is None:
             raise KeyError(
@@ -98,9 +90,55 @@ class ReadService:
         layer, addr = writer.vas.resolve(record.va)
         pieces = writer.logs[layer].sim_file.read_at(int(addr),
                                                      int(record.length))
+        for p in pieces:
+            # Checksum verification: rot in the cached log must never be
+            # returned as data.  Corrupt segments fall back to a clean
+            # copy (replica, then flushed PFS) or raise DataLossError —
+            # the durability invariant forbids silent wrong bytes.
+            if isinstance(p.payload, CorruptPayload):
+                self.system.telemetry_hook(
+                    "read-corrupt",
+                    f"{session.path}:rank{record.proc_id}",
+                    float(record.length))
+                return self.resolve_degraded(session, record)
         rebase = record.offset - addr
         return [Extent(int(p.offset + rebase), p.length, p.payload,
                        p.payload_offset) for p in pieces]
+
+    def resolve_degraded(self, session, record: MetadataRecord
+                         ) -> List[Extent]:
+        """Clean logical extents for a record whose primary copy is
+        unusable (its node died, or it failed checksum verification):
+        the resilience replica first, then the flushed PFS copy;
+        :class:`DataLossError` when no clean copy survives.  The
+        scrubber uses the same chain as its repair source.
+        """
+        from repro.core.resilience import DataLossError
+        system = self.system
+        if system.config.resilience_enabled:
+            try:
+                return system.resilience.resolve_replica(session, record)
+            except DataLossError:
+                pass
+        # The PFS copy is only authoritative when nothing newer sits
+        # unflushed in the cache — repairing from a stale flush would be
+        # exactly the silent corruption this path exists to prevent.
+        pfs = self.machine.pfs_files
+        if (session.flushed_bytes >= session.cached_bytes_written
+                and pfs.exists(session.path)):
+            extents = pfs.open(session.path).read_at(record.offset,
+                                                     record.length)
+            good = sum(e.length for e in extents
+                       if not isinstance(e.payload,
+                                         (ZeroPayload, CorruptPayload)))
+            if good >= record.length:
+                return extents
+        raise DataLossError(
+            f"{session.path}: [{record.offset}, +{record.length}) has no "
+            f"clean surviving copy (primary on node {record.node_id} dead "
+            f"or failed checksum verification)",
+            fid=record.fid, rank=record.proc_id, node=record.node_id,
+            offset=record.offset, length=record.length)
 
     # -- the collective read ----------------------------------------------------
     def read_collective(self, session, comm: Communicator,

@@ -1,0 +1,245 @@
+"""Crash recovery and integrity scrubbing (self-healing extension).
+
+Two services close the loop that :mod:`repro.core.health` opens:
+
+:class:`RecoveryService`
+    Fires on a **dead** declaration.  A dead server's metadata offset
+    ranges are taken over by surviving servers — the replica assignment is
+    rewritten and the missing copies rebuilt by replaying the per-range
+    write-ahead journal (:meth:`MetadataService.recover_server`) — so
+    lookups route to the new owner instead of paying a failover per read
+    forever.  A dead node additionally triggers re-replication of every
+    session still holding unreplicated volatile data, plus a scrub pass.
+
+:class:`ScrubService`
+    Background integrity pass: checksum-verifies cached log chunks and
+    replica files against the recorded content provenance, repairs rot
+    from the surviving clean copy (replica -> log, log -> replica, flushed
+    PFS copy as the last source), and re-replicates sessions whose
+    volatile data lost its replica.  Data that fails verification with no
+    clean copy anywhere is reported (``scrub-lost``) — the next read
+    raises :class:`~repro.core.errors.DataLossError` rather than
+    returning wrong bytes.
+
+Both services are engine-clock aware but deliberately cheap on the timed
+side: detection latency is modelled by the health monitor's timers, the
+journal replay and scrub scans by throughput-derived timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.core.errors import DataLossError
+from repro.core.metadata import MetadataRecord
+from repro.sim.engine import Event
+from repro.units import GiB
+
+__all__ = ["RecoveryService", "ScrubService"]
+
+#: Nominal serialized size of one journaled metadata record (replay cost).
+_JOURNAL_RECORD_BYTES = 64.0
+#: Nominal scrub scan throughput per pass (checksum-verify is sequential
+#: streaming I/O; one server's worth so passes stay background-cheap).
+_SCRUB_BANDWIDTH = 4.0 * GiB
+
+
+class RecoveryService:
+    """Turns dead declarations into takeover and re-replication actions."""
+
+    def __init__(self, system) -> None:
+        # ``system`` is a UniviStorServers (typed loosely: import cycle).
+        self.system = system
+        self.engine = system.engine
+        #: ``(range_index, new_primary)`` takeovers performed, for tests.
+        self.takeovers: List[Tuple[int, int]] = []
+        health = getattr(system, "health", None)
+        if health is not None:
+            health.on_server_dead.append(self.handle_server_dead)
+            health.on_node_dead.append(self.handle_node_dead)
+
+    # -- server death: metadata range takeover ----------------------------
+    def handle_server_dead(self, server_id: int) -> None:
+        metadata = self.system.metadata
+        actions = metadata.recover_server(server_id)
+        if not actions:
+            return
+        replayed = 0
+        for range_index, new_primary in actions:
+            replayed += len(metadata.journal_records(range_index))
+            self.takeovers.append((range_index, new_primary))
+            self.system.telemetry_hook(
+                "recovery-takeover",
+                f"range:{range_index}->server:{new_primary}", 0.0)
+        if replayed:
+            self.engine.process(self._replay_cost(server_id, replayed),
+                                name=f"journal-replay:server{server_id}")
+
+    def _replay_cost(self, server_id: int, records: int) -> Generator:
+        """Timed journal replay: the new owners stream the dead server's
+        journal segments off shared storage and re-insert the records."""
+        t_start = self.engine.now
+        nbytes = records * _JOURNAL_RECORD_BYTES
+        yield self.engine.timeout(nbytes / _SCRUB_BANDWIDTH
+                                  + records * 1e-6)
+        self.system.telemetry_hook("recovery-replay",
+                                   f"server:{server_id}", nbytes,
+                                   t_start=t_start)
+
+    # -- node death: close the replication window -------------------------
+    def handle_node_dead(self, node_id: int) -> None:
+        system = self.system
+        if system.config.resilience_enabled:
+            system.rereplicate_pending()
+        scrub = getattr(system, "scrub", None)
+        if scrub is not None:
+            scrub.start_scrub()
+
+
+class ScrubService:
+    """Background checksum verification and repair over cached data."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.engine = system.engine
+        self._event: Optional[Event] = None
+        #: Pass statistics (cumulative, for tests/reporting).
+        self.verified_bytes = 0.0
+        self.repaired_bytes = 0.0
+        self.lost_bytes = 0.0
+
+    # -- public API --------------------------------------------------------
+    def start_scrub(self) -> Event:
+        """Kick off (or join) a scrub pass; returns its completion event."""
+        outstanding = self._event
+        if outstanding is not None and not outstanding.triggered:
+            return outstanding
+        proc = self.engine.process(self._scrub_pass(), name="scrub")
+        self._event = proc
+        return proc
+
+    def wait(self) -> Generator:
+        if self._event is not None and not self._event.processed:
+            yield self._event
+
+    # -- the pass ----------------------------------------------------------
+    def _scrub_pass(self) -> Generator:
+        t_start = self.engine.now
+        system = self.system
+        scanned = repaired = lost = 0.0
+        for path in sorted(system._sessions):
+            session = system._sessions[path]
+            s, r, l = self._scrub_session(session)
+            scanned += s
+            repaired += r
+            lost += l
+            if (system.config.resilience_enabled
+                    and system.resilience.pending_bytes(session) > 0):
+                # Volatile data with no (or a dead) replica: restore the
+                # redundancy the durability story depends on.
+                system.telemetry_hook("scrub-rereplicate", session.path,
+                                      system.resilience.pending_bytes(
+                                          session))
+                system.resilience.start_replication(session)
+        self.verified_bytes += scanned
+        self.repaired_bytes += repaired
+        self.lost_bytes += lost
+        if scanned > 0:
+            yield self.engine.timeout(scanned / _SCRUB_BANDWIDTH)
+        system.telemetry_hook("scrub", "all", scanned, t_start=t_start)
+        return repaired
+
+    def _scrub_session(self, session) -> Tuple[float, float, float]:
+        """Verify one session's logs and replicas; returns
+        ``(scanned, repaired, lost)`` byte counts."""
+        system = self.system
+        scanned = repaired = lost = 0.0
+        records = system.metadata.records_of(session.fid)
+        for record in records:
+            if (record.tier.is_node_local
+                    and record.node_id in system.failed_nodes):
+                continue  # log died with the node; the replica serves
+            writer = session.writers.get(record.proc_id)
+            if writer is None:
+                continue
+            layer, addr = writer.vas.resolve(record.va)
+            sim_file = writer.logs[layer].sim_file
+            scanned += record.length
+            for c_off, c_len in sim_file.corrupt_ranges(int(addr),
+                                                        int(record.length)):
+                lo = record.offset + (c_off - int(addr))
+                sub = record.slice(lo, lo + c_len)
+                try:
+                    clean = system.read_service.resolve_degraded(session,
+                                                                 sub)
+                except DataLossError:
+                    lost += c_len
+                    system.telemetry_hook(
+                        "scrub-lost", f"{session.path}:[{lo},+{c_len})",
+                        float(c_len))
+                    continue
+                for ext in clean:
+                    phys = int(addr) + (ext.offset - record.offset)
+                    sim_file.write_at(int(phys), ext.length, ext.payload,
+                                      ext.payload_offset)
+                repaired += c_len
+                system.telemetry_hook(
+                    "scrub-repair", f"{session.path}:[{lo},+{c_len})",
+                    float(c_len))
+        if system.config.resilience_enabled:
+            s, r, l = self._scrub_replicas(session)
+            scanned += s
+            repaired += r
+            lost += l
+        return scanned, repaired, lost
+
+    def _scrub_replicas(self, session) -> Tuple[float, float, float]:
+        """Verify replica logs against the primary copies."""
+        system = self.system
+        scanned = repaired = lost = 0.0
+        replicas = system.resilience._replicas.get(session.path, {})
+        for rank in sorted(replicas):
+            replica = replicas[rank]
+            scanned += replica.size
+            for off, ln in replica.corrupt_ranges(0, replica.size):
+                try:
+                    records, _servers = system.metadata.lookup(
+                        session.fid, off, ln)
+                except DataLossError:
+                    lost += ln
+                    system.telemetry_hook(
+                        "scrub-lost",
+                        f"{session.path}:replica{rank}:[{off},+{ln})",
+                        float(ln))
+                    continue
+                healed = 0.0
+                for record in records:
+                    if record.proc_id != rank:
+                        continue
+                    try:
+                        clean = self._primary_extents(session, record)
+                    except DataLossError:
+                        continue
+                    for ext in clean:
+                        replica.write_at(ext.offset, ext.length,
+                                         ext.payload, ext.payload_offset)
+                        healed += ext.length
+                if healed > 0:
+                    repaired += healed
+                    system.telemetry_hook(
+                        "scrub-repair",
+                        f"{session.path}:replica{rank}:[{off},+{ln})",
+                        float(healed))
+                if healed < ln:
+                    lost += ln - healed
+                    system.telemetry_hook(
+                        "scrub-lost",
+                        f"{session.path}:replica{rank}:[{off},+{ln})",
+                        float(ln - healed))
+        return scanned, repaired, lost
+
+    def _primary_extents(self, session, record: MetadataRecord):
+        """Clean logical extents straight from the writer's log (replica
+        repair source); :class:`DataLossError` when the log itself is
+        dead or rotten with no third copy."""
+        return self.system.read_service.resolve(session, record)

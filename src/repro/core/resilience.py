@@ -20,36 +20,20 @@ with :meth:`UniviStorServers.fail_node`.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List
 
 from repro.core.config import StorageTier
+from repro.core.errors import DataLossError
 from repro.core.metadata import MetadataRecord
 from repro.sim.engine import Event
-from repro.storage.datamodel import Extent, ZeroPayload
+from repro.storage.datamodel import CorruptPayload, Extent, ZeroPayload
+from repro.storage.device import TransientIOError
 from repro.storage.posix import SimFile
 
+# ``DataLossError`` moved to :mod:`repro.core.errors` (so the metadata
+# service can subclass it without an import cycle); re-exported here for
+# compatibility — this module is where the API docs historically named it.
 __all__ = ["DataLossError", "ResilienceService"]
-
-
-class DataLossError(RuntimeError):
-    """A read touched data whose only copy died with its node.
-
-    Carries a structured payload naming exactly what was lost — the
-    file, the source rank, the failed node and the byte range — so
-    callers (and tests) can react to the loss instead of parsing the
-    message.
-    """
-
-    def __init__(self, message: str, *, fid: Optional[int] = None,
-                 rank: Optional[int] = None, node: Optional[int] = None,
-                 offset: Optional[int] = None,
-                 length: Optional[int] = None):
-        super().__init__(message)
-        self.fid = fid
-        self.rank = rank
-        self.node = node
-        self.offset = offset
-        self.length = length
 
 
 class ResilienceService:
@@ -134,7 +118,15 @@ class ResilienceService:
                 lost_bytes += record.length
                 continue
             replica = self.replica_file(session, record.proc_id)
-            for extent in read_service.resolve(session, record):
+            try:
+                extents = read_service.resolve(session, record)
+            except DataLossError:
+                # Source rotted (corruption) with no clean copy anywhere:
+                # nothing usable to replicate.  Surface, don't crash the
+                # background pass.
+                lost_bytes += record.length
+                continue
+            for extent in extents:
                 replica.write_at(extent.offset, extent.length,
                                  extent.payload, extent.payload_offset)
         if lost_bytes > 0:
@@ -145,12 +137,26 @@ class ResilienceService:
         # bytes have nothing to drain.
         copy_bytes = max(0.0, pending - lost_bytes)
         if copy_bytes > 0:
-            yield system.timed_io(
-                lambda: bb.write(copy_bytes / servers, streams=servers,
-                                 per_stream_cap=bb.flush_cap(
-                                     system.config.servers_per_node),
-                                 tag=f"replicate:{session.path}"),
-                f"replicate:{session.path}")
+            try:
+                yield system.timed_io(
+                    lambda: bb.write(copy_bytes / servers, streams=servers,
+                                     per_stream_cap=bb.flush_cap(
+                                         system.config.servers_per_node),
+                                     tag=f"replicate:{session.path}"),
+                    f"replicate:{session.path}")
+            except TransientIOError:
+                # Retry budget exhausted mid-brownout.  Without recovery
+                # the failure propagates (sync waiters see it — the PR 1
+                # fail-loud contract).  Self-healing mode contains it
+                # instead: leave the replicated counter alone so the next
+                # scrub pass re-sends these bytes, and report — an
+                # unhandled raise in an unobserved background process
+                # would crash the engine.
+                if not system.config.recovery_enabled:
+                    raise
+                system.telemetry_hook("replicate-failed", session.path,
+                                      copy_bytes, t_start=t_start)
+                return 0.0
         self._replicated[session.path] = (
             self._replicated.get(session.path, 0.0) + pending)
         self.system.telemetry_hook("replicate", session.path, pending,
@@ -179,6 +185,14 @@ class ResilienceService:
                 raise DataLossError(
                     f"{session.path}: replica of rank {record.proc_id} "
                     f"misses [{ext.offset}, +{ext.length})",
+                    fid=record.fid, rank=record.proc_id,
+                    node=record.node_id, offset=ext.offset,
+                    length=ext.length)
+            if isinstance(ext.payload, CorruptPayload):
+                raise DataLossError(
+                    f"{session.path}: replica of rank {record.proc_id} "
+                    f"fails checksum verification at "
+                    f"[{ext.offset}, +{ext.length})",
                     fid=record.fid, rank=record.proc_id,
                     node=record.node_id, offset=ext.offset,
                     length=ext.length)

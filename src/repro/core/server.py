@@ -125,12 +125,22 @@ class UniviStorServers:
         # Collective services (imported here to avoid module cycles).
         from repro.core.advisor import PlacementAdvisor
         from repro.core.flush import FlushService
+        from repro.core.health import HealthMonitor
         from repro.core.read_service import ReadService
+        from repro.core.recovery import RecoveryService, ScrubService
         from repro.core.resilience import ResilienceService
         self.read_service = ReadService(self)
         self.flush_service = FlushService(self)
         self.resilience = ResilienceService(self)
         self.advisor = PlacementAdvisor()
+        # Self-healing services (all off by default; UniviStorConfig
+        # .hardened() turns the full detection -> takeover -> scrub
+        # pipeline on).  Construction order matters: the recovery service
+        # registers its callbacks on the health monitor.
+        self.health = HealthMonitor(self) if config.health_enabled else None
+        self.scrub = ScrubService(self) if config.scrub_enabled else None
+        self.recovery = (RecoveryService(self) if config.recovery_enabled
+                         else None)
         if config.resilience_enabled:
             self._check_tier_available(StorageTier.SHARED_BB)
 
@@ -183,6 +193,14 @@ class UniviStorServers:
         self.failed_servers.add(server_id)
         self.metadata.fail_server(server_id)
         self.telemetry_hook("fault-server-crash", f"server:{server_id}", 0.0)
+        # The partition loss above is instantaneous (the data really is
+        # gone); *reacting* to it is not.  With the failure detector the
+        # takeover fires once the server is declared dead; without it,
+        # recovery (when enabled) rides directly on the crash event.
+        if self.health is not None:
+            self.health.note_server_crash(server_id)
+        elif self.recovery is not None:
+            self.recovery.handle_server_dead(server_id)
 
     def crash_node(self, node_id: int) -> None:
         """Full node crash: local data, plus every server process it ran.
@@ -202,13 +220,23 @@ class UniviStorServers:
         if already_down:
             return
         self.telemetry_hook("fault-node-crash", f"node:{node_id}", 0.0)
-        if self.config.resilience_enabled:
-            for session in self._sessions.values():
-                if self.resilience.pending_bytes(session) > 0:
-                    self.telemetry_hook("re-replicate", session.path,
-                                        self.resilience.pending_bytes(
-                                            session))
-                    self.resilience.start_replication(session)
+        if self.health is not None:
+            self.health.note_node_crash(node_id)
+        elif self.recovery is not None:
+            self.recovery.handle_node_dead(node_id)
+        elif self.config.resilience_enabled:
+            self.rereplicate_pending()
+
+    def rereplicate_pending(self) -> None:
+        """Re-replicate every session still holding unreplicated volatile
+        data, so the surviving copies stop being unique (crash-triggered
+        or scheduled by the recovery service)."""
+        for session in self._sessions.values():
+            if self.resilience.pending_bytes(session) > 0:
+                self.telemetry_hook("re-replicate", session.path,
+                                    self.resilience.pending_bytes(
+                                        session))
+                self.resilience.start_replication(session)
 
     # -- fault-tolerant I/O ------------------------------------------------
     def timed_io(self, make_event, label: str) -> Event:

@@ -365,6 +365,17 @@ class Engine:
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
 
+    def call_later(self, delay: float, fn) -> Timeout:
+        """Run ``fn(event)`` after ``delay`` simulated seconds.
+
+        Sugar over a :class:`Timeout` plus a callback — the idiom the
+        fault injector and the health monitor use to arm one-shot actions
+        without spinning up a full process.
+        """
+        ev = Timeout(self, delay)
+        ev.callbacks.append(fn)
+        return ev
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 

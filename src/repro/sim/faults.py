@@ -21,16 +21,19 @@ bit-reproducible.  Every injected fault is surfaced through the system's
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import List, Optional, Tuple
 
 from repro.sim.rng import StreamRNG
 
 __all__ = ["Fault", "FaultInjector", "FaultSpec"]
 
-#: Fault kinds understood by the injector.
+#: Fault kinds understood by the injector.  ``data-corrupt`` (silent rot
+#: in stored bytes, detected only by checksum verification) is appended
+#: last: the timeline sort keys on ``KINDS.index``, so extending the
+#: tuple at the end preserves every existing schedule bit-for-bit.
 KINDS = ("node-crash", "server-crash", "device-degrade", "device-fail",
-         "write-errors", "net-degrade", "net-delay")
+         "write-errors", "net-degrade", "net-delay", "data-corrupt")
 
 _SHARED_TIERS = ("pfs", "shared_bb")
 
@@ -54,6 +57,8 @@ class Fault:
     duration: Optional[float] = None
     count: int = 0
     delay: float = 0.0
+    #: Bytes to rot for ``data-corrupt`` (None -> the injector default).
+    nbytes: Optional[float] = None
 
     def __post_init__(self):
         if self.at < 0:
@@ -72,6 +77,10 @@ class Fault:
         if self.kind.startswith("device-") or self.kind == "write-errors":
             if self.tier is None:
                 raise ValueError(f"{self.kind} needs tier=<storage tier>")
+        if self.kind == "data-corrupt" and self.tier is None:
+            raise ValueError("data-corrupt needs tier=<storage tier>")
+        if self.nbytes is not None and self.nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {self.nbytes}")
 
     def describe(self) -> str:
         parts = [self.kind]
@@ -87,6 +96,8 @@ class Fault:
             parts.append(f"count={self.count}")
         if self.delay:
             parts.append(f"delay={self.delay:g}")
+        if self.nbytes is not None:
+            parts.append(f"nbytes={self.nbytes:g}")
         return ":".join(parts)
 
 
@@ -104,21 +115,37 @@ class FaultSpec:
     node_crash_rate: float = 0.0
     server_crash_rate: float = 0.0
     device_degrade_rate: float = 0.0
+    data_corrupt_rate: float = 0.0
     degrade_factor: float = 0.25
     degrade_duration: float = 30.0
+    corrupt_bytes: float = 64 * 1024.0
     horizon: float = 0.0
 
     def __post_init__(self):
         for rate in (self.node_crash_rate, self.server_crash_rate,
-                     self.device_degrade_rate):
+                     self.device_degrade_rate, self.data_corrupt_rate):
             if rate < 0:
                 raise ValueError(f"negative fault rate {rate}")
+        if self.corrupt_bytes <= 0:
+            raise ValueError(f"corrupt_bytes must be positive, "
+                             f"got {self.corrupt_bytes}")
         if self.horizon < 0:
             raise ValueError(f"negative horizon {self.horizon}")
         has_rates = (self.node_crash_rate or self.server_crash_rate
-                     or self.device_degrade_rate)
+                     or self.device_degrade_rate or self.data_corrupt_rate)
         if has_rates and self.horizon <= 0:
             raise ValueError("probabilistic rates need a positive horizon")
+        seen = set()
+        for fault in self.events:
+            if fault.kind not in ("node-crash", "server-crash"):
+                continue
+            key = (fault.kind, fault.target)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate {fault.kind} for target {fault.target}: "
+                    f"a crashed target stays crashed, so the second event "
+                    f"can never fire — remove it from the spec")
+            seen.add(key)
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":
@@ -140,8 +167,20 @@ class FaultSpec:
                 continue
             if chunk.startswith("random:"):
                 for kv in chunk[len("random:"):].split(","):
-                    key, _, val = kv.partition("=")
-                    rates[key.strip()] = float(val)
+                    key, sep, val = kv.partition("=")
+                    key = key.strip()
+                    if not sep:
+                        raise ValueError(
+                            f"malformed random entry {kv!r}: "
+                            f"expected knob=value")
+                    # Validate eagerly with the full knob list: a typo'd
+                    # knob otherwise surfaces as an unhelpful TypeError
+                    # from the dataclass constructor.
+                    if key not in _RANDOM_KNOBS:
+                        raise ValueError(
+                            f"unknown random fault knob {key!r}; valid: "
+                            f"{sorted(_RANDOM_KNOBS)}")
+                    rates[key] = float(val)
                 continue
             head, _, tail = chunk.partition(":")
             kind, _, at = head.partition("@")
@@ -155,12 +194,17 @@ class FaultSpec:
                     kwargs["count"] = int(val)
                 elif key == "tier":
                     kwargs["tier"] = val.strip()
-                elif key in ("factor", "duration", "delay"):
+                elif key in ("factor", "duration", "delay", "nbytes"):
                     kwargs[key] = float(val)
                 else:
                     raise ValueError(f"unknown fault key {key!r}")
             events.append(Fault(**kwargs))
         return cls(events=tuple(events), **rates)
+
+
+#: Knobs a ``random:`` spec section may set — every FaultSpec field
+#: except the explicit event tuple.
+_RANDOM_KNOBS = frozenset(f.name for f in fields(FaultSpec)) - {"events"}
 
 
 class FaultInjector:
@@ -179,6 +223,10 @@ class FaultInjector:
         self.engine = system.engine
         self.spec = spec
         self.seed = int(seed)
+        # Fire-time draws (corruption placement) use their own named
+        # streams off the same seed, so adding them never perturbs the
+        # timeline-resolution draws below.
+        self._fire_rng = StreamRNG(self.seed)
         self.timeline: Tuple[Fault, ...] = self._resolve_timeline()
         #: (sim time, fault description) for every fault/restore applied.
         self.applied: List[Tuple[float, str]] = []
@@ -218,6 +266,25 @@ class FaultInjector:
                                         tier=tier,
                                         factor=spec.degrade_factor,
                                         duration=spec.degrade_duration))
+        if spec.data_corrupt_rate > 0:
+            targets: List[Tuple[str, Optional[int]]] = [("pfs", None)]
+            if self.machine.burst_buffer is not None:
+                targets.append(("shared_bb", None))
+            for node in self.machine.nodes:
+                targets.append(("dram", node.node_id))
+            for tier, target in targets:
+                stream = rng.stream(
+                    f"fault.data-corrupt.{tier}."
+                    f"{'-' if target is None else target}")
+                t = 0.0
+                while True:
+                    t += float(stream.exponential(
+                        1.0 / spec.data_corrupt_rate))
+                    if t >= spec.horizon:
+                        break
+                    events.append(Fault(at=t, kind="data-corrupt",
+                                        tier=tier, target=target,
+                                        nbytes=spec.corrupt_bytes))
         events.sort(key=lambda f: (f.at, KINDS.index(f.kind),
                                    -1 if f.target is None else f.target,
                                    f.tier or ""))
@@ -230,11 +297,11 @@ class FaultInjector:
             return self
         self._installed = True
         now = self.engine.now
-        for fault in self.timeline:
+        for index, fault in enumerate(self.timeline):
             delay = max(0.0, fault.at - now)
 
-            def _fire(_ev, fault=fault):
-                self._apply(fault)
+            def _fire(_ev, fault=fault, index=index):
+                self._apply(fault, index)
 
             self.engine.timeout(delay).callbacks.append(_fire)
         return self
@@ -263,7 +330,42 @@ class FaultInjector:
 
         self.engine.timeout(duration).callbacks.append(_fire)
 
-    def _apply(self, fault: Fault) -> None:
+    def _apply_corrupt(self, fault: Fault, index: int) -> None:
+        """Rot a deterministic slice of one file on the target tier.
+
+        File and offset are drawn at fire time from a per-event named
+        stream (keyed by timeline index), so a fixed (spec, seed) run
+        corrupts the identical bytes every time — the chaos campaign's
+        reproducibility contract.
+        """
+        from repro.core.config import StorageTier
+        system = self.system
+        tier = StorageTier(fault.tier)
+        node = None
+        if tier.is_node_local:
+            if fault.target is None:
+                raise ValueError(
+                    f"data-corrupt on node-local tier {fault.tier!r} "
+                    f"needs node=<node id>")
+            node = self.machine.nodes[fault.target]
+        store = system.tier_store(tier, node)
+        paths = sorted(f.path for f in store if f.size > 0)
+        if not paths:
+            system.telemetry_hook("fault-data-corrupt",
+                                  f"{fault.tier}:no-data", 0.0)
+            return
+        stream = self._fire_rng.stream(f"fault.data-corrupt.fire.{index}")
+        sim_file = store.open(paths[int(stream.integers(len(paths)))])
+        nbytes = fault.nbytes if fault.nbytes is not None else 64 * 1024.0
+        length = int(min(nbytes, sim_file.size))
+        offset = int(stream.integers(sim_file.size - length + 1))
+        token = int(stream.integers(2 ** 31))
+        sim_file.corrupt_at(offset, length, token)
+        system.telemetry_hook(
+            "fault-data-corrupt",
+            f"{sim_file.path}:[{offset},+{length})", float(length))
+
+    def _apply(self, fault: Fault, index: int = 0) -> None:
         system = self.system
         desc = fault.describe()
         self._note(desc)
@@ -296,6 +398,9 @@ class FaultInjector:
             device.inject_write_errors(fault.count)
             system.telemetry_hook("fault-write-errors",
                                   f"{device.name}:{desc}", 0.0)
+            return
+        if fault.kind == "data-corrupt":
+            self._apply_corrupt(fault, index)
             return
         backbone = self.machine.network.backbone
         if fault.kind == "net-degrade":

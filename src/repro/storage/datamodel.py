@@ -28,6 +28,7 @@ import numpy as np
 __all__ = [
     "Payload",
     "BytesPayload",
+    "CorruptPayload",
     "PatternPayload",
     "ZeroPayload",
     "Extent",
@@ -96,6 +97,37 @@ class PatternPayload(Payload):
 
     def describe(self) -> str:
         return f"pattern[{self.seed}]"
+
+
+@dataclass(frozen=True)
+class CorruptPayload(Payload):
+    """Bit-rotted content: bytes whose stored checksum no longer matches.
+
+    Injected by the ``data-corrupt`` fault (via :meth:`SimFile.corrupt_at`)
+    in place of whatever payload previously covered the range.  The
+    simulation models checksum verification as payload provenance: a clean
+    copy still carries its original payload, a rotted one carries a
+    ``CorruptPayload``, so "verify the checksum" is "is any piece of this
+    range corrupt?".  Materialisation is deterministic garbage derived from
+    ``token`` (the corruption event id), so even a run that *fails* to
+    detect rot stays bit-reproducible.
+    """
+
+    token: int
+
+    def materialize(self, start: int, length: int) -> bytes:
+        if start < 0:
+            raise IndexError(f"negative payload offset {start}")
+        idx = np.arange(start, start + length, dtype=np.uint64)
+        vals = (idx * np.uint64(2246822519)
+                + np.uint64(self.token * 65599) + np.uint64(0xB17F))
+        return (vals & np.uint64(0xFF)).astype(np.uint8).tobytes()
+
+    def same_source(self, other: Payload) -> bool:
+        return isinstance(other, CorruptPayload) and self.token == other.token
+
+    def describe(self) -> str:
+        return f"corrupt[{self.token}]"
 
 
 class ZeroPayload(Payload):

@@ -10,9 +10,9 @@ the Lustre baseline each pair a ``FileStore`` with the appropriate device.
 from __future__ import annotations
 
 import posixpath
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Tuple
 
-from repro.storage.datamodel import ExtentMap, Payload
+from repro.storage.datamodel import CorruptPayload, ExtentMap, Payload
 
 __all__ = ["SimFile", "FileStore"]
 
@@ -40,6 +40,23 @@ class SimFile:
 
     def read_bytes(self, offset: int, length: int) -> bytes:
         return self.data.read_bytes(offset, length)
+
+    # -- integrity (fault injection + scrubbing) -------------------------
+    def corrupt_at(self, offset: int, length: int, token: int) -> None:
+        """Rot ``[offset, offset+length)``: the stored bytes change but the
+        recorded checksums do not (that mismatch *is* the corruption).
+        Clipped to the written size — rot cannot extend a file."""
+        end = min(offset + length, self.size)
+        if end <= offset:
+            return
+        self.data.write(offset, end - offset, CorruptPayload(token))
+
+    def corrupt_ranges(self, offset: int, length: int
+                       ) -> List[Tuple[int, int]]:
+        """Checksum-verify a range: ``(offset, length)`` of every piece
+        whose content no longer matches its recorded checksum."""
+        return [(e.offset, e.length) for e in self.data.read(offset, length)
+                if isinstance(e.payload, CorruptPayload)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SimFile {self.path!r} size={self.size}>"

@@ -1,0 +1,72 @@
+"""Gating chaos smoke campaign (tier 1, keep under a minute).
+
+Runs a small slice of the seed space through the hardened configuration
+and asserts the durability invariant plus run-level determinism.  The
+full 200-seed campaign (with the >= 99 % success bar and the
+hardened-vs-baseline comparison) lives in ``test_chaos_full.py`` and is
+gated behind ``CHAOS_FULL=1``.
+"""
+
+from __future__ import annotations
+
+from repro.chaos import run_campaign, run_one
+
+SMOKE_SEEDS = 20
+
+
+class TestChaosSmoke:
+    def setup_method(self):
+        self.campaign = run_campaign(SMOKE_SEEDS, hardened=True)
+
+    def test_durability_invariant(self):
+        # Every read returned correct bytes or raised a structured
+        # DataLossError — never silent wrong data, never an unhandled
+        # exception.
+        assert self.campaign.violations == []
+
+    def test_every_run_saw_faults(self):
+        # The schedule generator always draws at least one corruption
+        # event, so no seed degenerates into a fault-free run.
+        for run in self.campaign.runs:
+            assert run.faults, f"seed {run.seed} drew an empty schedule"
+
+    def test_hardened_reads_mostly_survive(self):
+        # The tight bar (>= 99 %) belongs to the 200-seed campaign; the
+        # smoke slice just guards against wholesale regressions.
+        assert self.campaign.success_rate >= 0.95
+
+    def test_schedules_differ_across_seeds(self):
+        schedules = {run.faults for run in self.campaign.runs}
+        assert len(schedules) > SMOKE_SEEDS // 2
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_digest(self):
+        a = run_one(7, hardened=True)
+        b = run_one(7, hardened=True)
+        assert a.digest == b.digest
+        assert a.faults == b.faults
+        assert a.telemetry_ops == b.telemetry_ops
+
+    def test_hardened_flag_changes_digest(self):
+        a = run_one(7, hardened=True)
+        b = run_one(7, hardened=False)
+        assert a.digest != b.digest
+
+    def test_different_seeds_differ(self):
+        a = run_one(7, hardened=True)
+        b = run_one(8, hardened=True)
+        assert a.digest != b.digest
+
+
+class TestChaosBaseline:
+    def test_baseline_also_never_violates(self):
+        # Without detection/takeover/scrubbing more reads are lost, but
+        # every loss must still be a structured DataLossError.
+        campaign = run_campaign(SMOKE_SEEDS, hardened=False)
+        assert campaign.violations == []
+
+    def test_hardened_no_worse_than_baseline(self):
+        hardened = run_campaign(SMOKE_SEEDS, hardened=True)
+        baseline = run_campaign(SMOKE_SEEDS, hardened=False)
+        assert hardened.reads_ok >= baseline.reads_ok

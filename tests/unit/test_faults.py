@@ -101,6 +101,54 @@ class TestFaultSpecParsing:
         with pytest.raises(ValueError, match="unknown fault key"):
             FaultSpec.parse("node-crash@10:node=0,severity=9")
 
+    def test_unknown_random_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown random fault knob"):
+            FaultSpec.parse("random:node_crash_rte=0.001,horizon=600")
+
+    def test_random_events_knob_rejected(self):
+        # ``events`` is a FaultSpec field but not a random knob.
+        with pytest.raises(ValueError, match="unknown random fault knob"):
+            FaultSpec.parse("random:events=3,horizon=600")
+
+    def test_malformed_random_entry_rejected(self):
+        with pytest.raises(ValueError, match="expected knob=value"):
+            FaultSpec.parse("random:node_crash_rate")
+
+    def test_duplicate_crash_target_rejected(self):
+        with pytest.raises(ValueError, match="duplicate node-crash"):
+            FaultSpec.parse("node-crash@10:node=0;node-crash@20:node=0")
+        with pytest.raises(ValueError, match="duplicate server-crash"):
+            FaultSpec(events=(
+                Fault(at=1.0, kind="server-crash", target=3),
+                Fault(at=2.0, kind="server-crash", target=3)))
+
+    def test_same_target_different_kinds_allowed(self):
+        # node 0 and server 0 are different targets; and repeated
+        # restorable faults (degrade) are fine.
+        spec = FaultSpec.parse(
+            "node-crash@10:node=0;server-crash@10:server=0;"
+            "device-degrade@1:tier=pfs,factor=0.5,duration=1;"
+            "device-degrade@5:tier=pfs,factor=0.5,duration=1")
+        assert len(spec.events) == 4
+
+    def test_data_corrupt_parsing(self):
+        spec = FaultSpec.parse(
+            "data-corrupt@3:tier=shared_bb,nbytes=4096;"
+            "random:data_corrupt_rate=0.01,corrupt_bytes=8192,horizon=100")
+        assert spec.events == (
+            Fault(at=3.0, kind="data-corrupt", tier="shared_bb",
+                  nbytes=4096.0),)
+        assert spec.data_corrupt_rate == 0.01
+        assert spec.corrupt_bytes == 8192.0
+
+    def test_data_corrupt_validation(self):
+        with pytest.raises(ValueError, match="needs tier"):
+            Fault(at=0.0, kind="data-corrupt")
+        with pytest.raises(ValueError, match="nbytes must be positive"):
+            Fault(at=0.0, kind="data-corrupt", tier="pfs", nbytes=0.0)
+        with pytest.raises(ValueError, match="corrupt_bytes"):
+            FaultSpec(corrupt_bytes=-1.0)
+
     def test_fault_validation(self):
         with pytest.raises(ValueError):
             Fault(at=-1.0, kind="node-crash", target=0)
@@ -333,6 +381,81 @@ class TestRetry:
         sim.machine.burst_buffer.device.inject_write_errors(5)
         with pytest.raises(TransientIOError):
             write_blocks(sim, comm, "/f")
+
+
+class TestDataCorruption:
+    """The ``data-corrupt`` fault kind: silent rot caught by checksums."""
+
+    def _corrupt_paths(self, sim):
+        return [(r.path, r.nbytes) for r in sim.telemetry.records
+                if r.op == "fault-data-corrupt"]
+
+    def _run_with_corruption(self, **config_kw):
+        sim, comm = setup(**config_kw)
+        write_blocks(sim, comm, "/f")
+        sim.install_faults(FaultSpec(events=(
+            Fault(at=sim.now, kind="data-corrupt", tier="dram", target=0,
+                  nbytes=4096.0),)))
+        sim.run(until=sim.now + 0.01)
+        return sim, comm
+
+    def test_corruption_lands_and_is_reported(self):
+        sim, comm = self._run_with_corruption()
+        corrupted = self._corrupt_paths(sim)
+        assert len(corrupted) == 1
+        path, nbytes = corrupted[0]
+        assert nbytes == 4096.0
+        assert "[" in path  # "<file>:[<offset>,+<length>)"
+
+    def test_read_falls_back_to_replica(self):
+        sim, comm = self._run_with_corruption()
+        data = read_all(sim, comm, "/f")
+        assert_correct(comm, data)
+        ops = telemetry_ops(sim)
+        assert "read-corrupt" in ops  # checksum caught the rot
+
+    def test_corruption_without_replica_raises_structured(self):
+        sim, comm = self._run_with_corruption(resilience_enabled=False)
+        with pytest.raises(DataLossError, match="checksum|clean"):
+            read_all(sim, comm, "/f")
+
+    def test_no_data_to_corrupt_is_reported(self):
+        sim, comm = setup()
+        sim.install_faults(FaultSpec(events=(
+            Fault(at=0.0, kind="data-corrupt", tier="pfs"),)))
+        sim.run(until=0.01)
+        assert self._corrupt_paths(sim) == [("pfs:no-data", 0.0)]
+
+    def test_same_seed_corrupts_identical_bytes(self):
+        runs = [self._run_with_corruption() for _ in range(2)]
+        a, b = [self._corrupt_paths(sim) for sim, _comm in runs]
+        assert a == b
+
+    def test_rate_resolves_into_timeline(self):
+        sim, _ = setup()
+        spec = FaultSpec(data_corrupt_rate=1.0, corrupt_bytes=8192.0,
+                         horizon=2.0)
+        injector = sim.install_faults(spec, seed=5)
+        corrupt = [f for f in injector.timeline if f.kind == "data-corrupt"]
+        assert corrupt, "rate 1/s over 2s should yield events"
+        tiers = {f.tier for f in corrupt}
+        assert tiers <= {"pfs", "shared_bb", "dram"}
+        for f in corrupt:
+            assert f.nbytes == 8192.0
+            assert (f.target is not None) == (f.tier == "dram")
+
+    def test_rate_streams_do_not_perturb_crash_draws(self):
+        # Adding corruption draws must not move the node-crash times:
+        # each fault class draws from its own named stream.
+        sim_a, _ = setup()
+        sim_b, _ = setup()
+        base = dict(node_crash_rate=0.1, horizon=5.0)
+        t_a = sim_a.install_faults(FaultSpec(**base), seed=3).timeline
+        t_b = sim_b.install_faults(
+            FaultSpec(data_corrupt_rate=1.0, **base), seed=3).timeline
+        crashes_a = [f for f in t_a if f.kind == "node-crash"]
+        crashes_b = [f for f in t_b if f.kind == "node-crash"]
+        assert crashes_a == crashes_b
 
 
 class TestAcceptance:

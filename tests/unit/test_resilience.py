@@ -179,6 +179,106 @@ class TestFailover:
         assert breakdown.local_bytes == 0
 
 
+class TestDataLossErrorPayload:
+    """The structured fields the chaos harness (and callers) rely on."""
+
+    def test_fields_on_unreplicated_loss(self):
+        sim, comm = setup(resilience=False)
+        block = int(256 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        sim.univistor.fail_node(0)
+        with pytest.raises(DataLossError) as err:
+            read_all(sim, comm, "/f", block)
+        e = err.value
+        assert e.fid == sim.univistor.session("/f").fid
+        assert e.rank in (0, 1)  # ranks that lived on node 0
+        assert e.node == 0
+        assert e.offset == e.rank * block
+        assert e.length == block
+
+    def test_fields_on_replica_gap(self):
+        sim, comm = setup()
+        block = int(4 * MiB)
+
+        def app():
+            fh = yield from sim.open(comm, "/f", "w", fstype="univistor")
+            yield from fh.write_at_all([
+                IORequest.contiguous_block(r, block, PatternPayload(r))
+                for r in range(comm.size)])
+            yield from fh.close()
+            sim.univistor.fail_node(0)  # replication never ran
+            fh2 = yield from sim.open(comm, "/f", "r", fstype="univistor")
+            yield from fh2.read_at_all([IORequest(1, block, block)])
+
+        with pytest.raises(DataLossError) as err:
+            sim.run_to_completion(app())
+        e = err.value
+        assert e.rank == 1
+        assert e.node == 0
+        assert e.offset is not None and e.length is not None
+
+    def test_metadata_unavailable_is_dataloss(self):
+        # MetadataUnavailableError subclasses DataLossError, so one
+        # except clause covers both loss shapes — and carries the fid.
+        from repro.core.metadata import MetadataUnavailableError
+        sim = Simulation(MachineSpec.small_test(nodes=2))
+        sim.install_univistor(UniviStorConfig.dram_only(
+            flush_enabled=False, metadata_replication=1))
+        comm = sim.comm("app", 4, procs_per_node=2)
+        block = int(256 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        sim.univistor.crash_server(0)
+        with pytest.raises(MetadataUnavailableError) as err:
+            read_all(sim, comm, "/f", block)
+        assert isinstance(err.value, DataLossError)
+        assert err.value.fid == sim.univistor.session("/f").fid
+
+
+class TestBackToBackCrashes:
+    """Re-replication must restore redundancy fast enough that a second
+    node crash does not lose data whose first replica just died."""
+
+    def _setup(self, nodes=3):
+        config = UniviStorConfig.hardened(flush_enabled=False)
+        sim = Simulation(MachineSpec.small_test(nodes=nodes))
+        sim.install_univistor(config)
+        comm = sim.comm("app", nodes * 2, procs_per_node=2)
+        return sim, comm
+
+    def test_rereplication_after_two_node_crashes(self):
+        sim, comm = self._setup()
+        block = int(256 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        sim.univistor.crash_node(0)
+        sim.run()  # detection, takeover, re-replication, scrub settle
+        sim.univistor.crash_node(1)
+        sim.run()
+        data = read_all(sim, comm, "/f", block)
+        for r in range(comm.size):
+            blob = b"".join(e.materialize() for e in data[r])
+            assert blob == PatternPayload(r).materialize(0, block), \
+                f"rank {r} lost data after back-to-back crashes"
+
+    def test_second_crash_before_rereplication_is_structured_loss(self):
+        sim, comm = self._setup()
+        block = int(256 * KiB)
+        write_blocks(sim, comm, "/f", block)
+        # Both crashes land in the same instant: the recovery pass never
+        # gets to run.  The replica tier (shared BB) survives, so reads
+        # still succeed — but if anything is lost it must be structured.
+        sim.univistor.crash_node(0)
+        sim.univistor.crash_node(1)
+        sim.run()
+        try:
+            data = read_all(sim, comm, "/f", block)
+        except DataLossError as e:
+            assert e.fid is not None
+        else:
+            for r in range(comm.size):
+                blob = b"".join(e.materialize() for e in data[r])
+                assert blob == PatternPayload(r).materialize(0, block)
+
+
 class TestResilienceRequiresBB:
     def test_missing_bb_rejected(self):
         spec = MachineSpec.small_test(nodes=1)
