@@ -48,10 +48,13 @@ BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks",
                           "test_simulator_throughput.py")
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_simulator.json")
 
-#: The two benches whose trajectory gates hot-path PRs (ISSUE 2).
+#: The benches whose trajectory gates hot-path PRs: the two original
+#: trajectory points (ISSUE 2) plus the metadata fast-path pair (ISSUE 5).
 QUICK_BENCHES = [
     "test_event_loop_throughput",
     "test_micro_1024_procs_wall_time",
+    "test_metadata_insert_throughput",
+    "test_cached_read_latency",
 ]
 
 #: Excluded from the default run: the paper's largest scale is minutes of
@@ -77,11 +80,14 @@ def host_info() -> dict:
     }
 
 
-def run_pytest_benchmark(selection: str, json_path: str) -> int:
+def run_pytest_benchmark(selection: str, json_path: str,
+                         fastpath_off: bool = False) -> int:
     env = dict(os.environ)
     src = os.path.join(REPO_ROOT, "src")
     env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
                          if env.get("PYTHONPATH") else src)
+    if fastpath_off:
+        env["REPRO_META_FASTPATH"] = "0"
     cmd = [
         sys.executable, "-m", "pytest", BENCH_FILE, "-q",
         "--benchmark-json", json_path,
@@ -118,18 +124,31 @@ def load_trajectory(path: str) -> dict:
     return {"schema": 1, "runs": []}
 
 
-def compare(prev: dict, curr: dict) -> None:
-    """Print current-vs-previous per-bench speedups (min wall time)."""
+def compare(prev: dict, curr: dict) -> list:
+    """Print current-vs-previous per-bench speedups (min wall time),
+    flagging >10 % regressions; returns the flagged bench names.
+
+    Non-gating: the return value feeds the CI log line, not the exit
+    code (bench hosts are noisy; a human reads the table)."""
+    regressions = []
     print(f"\n{'benchmark':44s} {'prev min':>10s} {'curr min':>10s} "
           f"{'speedup':>8s}")
     for name, stats in sorted(curr.items()):
         before = prev.get(name)
         if before and stats["min"] > 0:
             ratio = before["min"] / stats["min"]
+            flag = ""
+            if ratio < 0.9:
+                flag = "  !! >10% regression"
+                regressions.append(name)
             print(f"{name:44s} {before['min']:10.4f} {stats['min']:10.4f} "
-                  f"{ratio:7.2f}x")
+                  f"{ratio:7.2f}x{flag}")
         else:
             print(f"{name:44s} {'-':>10s} {stats['min']:10.4f} {'-':>8s}")
+    if regressions:
+        print(f"\n{len(regressions)} bench(es) regressed >10% vs the "
+              f"previous run (non-gating)")
+    return regressions
 
 
 def main(argv=None) -> int:
@@ -145,6 +164,10 @@ def main(argv=None) -> int:
                         help="trajectory file (default: BENCH_simulator.json)")
     parser.add_argument("--dry-run", action="store_true",
                         help="run and compare but do not write the file")
+    parser.add_argument("--fastpath-off", action="store_true",
+                        help="run with REPRO_META_FASTPATH=0 (legacy "
+                             "metadata plane) — records the 'before' "
+                             "point of a fast-path comparison pair")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -157,7 +180,8 @@ def main(argv=None) -> int:
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         json_path = tmp.name
     try:
-        rc = run_pytest_benchmark(selection, json_path)
+        rc = run_pytest_benchmark(selection, json_path,
+                                  fastpath_off=args.fastpath_off)
         if rc != 0:
             print(f"benchmark suite failed (exit {rc})", file=sys.stderr)
             return rc

@@ -7,13 +7,26 @@ the event kernel, fair-share rescheduling, extent-map writes and the
 full-stack micro-benchmark at two scales.
 """
 
+import os
+
 import numpy as np
 
+from repro.core.config import StorageTier
+from repro.core.location_cache import LocationCache
+from repro.core.metadata import MetadataRecord, MetadataService
 from repro.experiments.common import build_simulation
 from repro.sim import BandwidthResource, Engine
 from repro.storage.datamodel import ExtentMap, PatternPayload
-from repro.units import MiB
+from repro.units import KiB, MiB
 from repro.workloads import MicroBench
+
+
+def _fastpath_on() -> bool:
+    """The metadata fast-path benches honor ``REPRO_META_FASTPATH=0`` to
+    emulate the pre-fast-path code (per-record inserts, no compaction,
+    no location cache), so a trajectory file can hold a directly
+    comparable before/after pair recorded from the same tree."""
+    return os.environ.get("REPRO_META_FASTPATH", "1") != "0"
 
 
 class TestKernelThroughput:
@@ -61,6 +74,87 @@ class TestKernelThroughput:
             for offset, length, seed in ops:
                 m.write(offset, length, PatternPayload(seed))
             return len(m)
+
+        assert benchmark(run) > 0
+
+
+class TestMetadataFastPath:
+    """Host cost of the metadata plane (docs/MODEL.md §9)."""
+
+    PROCS = 4
+    WAVES = 24
+    CHUNKS = 64
+    CHUNK = int(4 * KiB)
+
+    def _wave_records(self, wave):
+        """One collective write's record stream: per-proc contiguous runs
+        of chunk records, appended wave after wave (offsets *and* VAs
+        continue across waves, so compaction can collapse each proc's
+        region while per-record insertion accumulates them all)."""
+        records = []
+        run_bytes = self.CHUNKS * self.CHUNK
+        for proc in range(self.PROCS):
+            base = proc * (64 << 20) + wave * run_bytes
+            va = float(wave * run_bytes)
+            for i in range(self.CHUNKS):
+                records.append(MetadataRecord(
+                    1, base + i * self.CHUNK, self.CHUNK, proc,
+                    va + i * self.CHUNK, StorageTier.DRAM, proc % 2))
+        return records
+
+    def test_metadata_insert_throughput(self, benchmark):
+        """Collective-write insert stream: batched + coalesced + merged
+        vs the legacy per-record loop."""
+        fast = _fastpath_on()
+        waves = [self._wave_records(w) for w in range(self.WAVES)]
+
+        def run():
+            md = MetadataService(n_servers=8, range_size=float(1 * MiB),
+                                 replication=2, compaction=fast)
+            for records in waves:
+                if fast:
+                    md.insert_many(records, coalesce=True)
+                else:
+                    for record in records:
+                        md.insert(record)
+            return md.record_count
+
+        assert benchmark(run) > 0
+
+    def test_cached_read_latency(self, benchmark):
+        """Strided multi-range lookups: location-cache hits (plus the
+        unchanged per-range cost accounting) vs authoritative store
+        searches."""
+        fast = _fastpath_on()
+        chunk = int(4 * KiB)
+        n_records = 16384  # 64 MiB of 4 KiB pieces, writers alternating
+        md = MetadataService(n_servers=4, range_size=float(64 * KiB),
+                             replication=1)
+        cache = LocationCache(md.range_size)
+        cache.begin_file(1)
+        records = [MetadataRecord(1, i * chunk, chunk, i % 4,
+                                  float(i * chunk), StorageTier.DRAM,
+                                  i % 2)
+                   for i in range(n_records)]
+        md.insert_many(records)
+        cache.insert_records(records)
+        span = int(1 * MiB)
+        limit = n_records * chunk - span
+        offsets = [(j * 997 * chunk) % limit // chunk * chunk
+                   for j in range(64)]
+
+        def run():
+            total = 0
+            if fast:
+                for off in offsets:
+                    found = cache.lookup(1, off, span)
+                    md.read_servers_for(1, off, span)
+                    total += len(found)
+            else:
+                for off in offsets:
+                    found, _servers = md.lookup(1, off, span)
+                    total += len(found)
+            return total
 
         assert benchmark(run) > 0
 

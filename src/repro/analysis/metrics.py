@@ -57,6 +57,16 @@ class Telemetry:
         # None is a wildcard, so the key a query builds from its filters
         # addresses its aggregate directly.
         self._aggregates: Dict[tuple, list] = {}
+        #: Named event counters (``meta-batch``, ``cache-hit``, ...) — a
+        #: side channel deliberately separate from the :class:`OpRecord`
+        #: stream: counters track host-side fast-path activity and must
+        #: not perturb the pinned record sequences the golden-digest
+        #: tests hash.
+        self.counters: Dict[str, float] = {}
+
+    def incr(self, name: str, value: float = 1.0) -> None:
+        """Bump a named counter (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
 
     def record(self, app: str, op: str, path: str, t_start: float,
                nbytes: float = 0.0, driver: str = "") -> OpRecord:
@@ -133,3 +143,4 @@ class Telemetry:
     def clear(self) -> None:
         self.records.clear()
         self._aggregates.clear()
+        self.counters.clear()

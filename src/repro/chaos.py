@@ -114,9 +114,13 @@ class CampaignResult:
 
 def _config(hardened: bool) -> UniviStorConfig:
     """The run configuration.  Both modes replicate and retry (PR 1);
-    only ``hardened`` detects, takes over metadata ranges and scrubs."""
+    only ``hardened`` detects, takes over metadata ranges and scrubs.
+    The metadata fast path runs at full strength: batching and the
+    location cache are on by default, and a small ``journal_checkpoint``
+    forces truncation to actually fire inside every run (the 64 KiB
+    ranges journal only a few records each)."""
     config = UniviStorConfig.hardened(
-        metadata_range_size=float(64 * KiB))
+        metadata_range_size=float(64 * KiB), journal_checkpoint=2)
     if not hardened:
         config = config.without("health_enabled", "recovery_enabled",
                                 "scrub_enabled")
@@ -179,12 +183,19 @@ def _schedule(rng: StreamRNG, base: float, n_nodes: int,
     return FaultSpec(events=tuple(events))
 
 
-def run_one(seed: int, hardened: bool = True) -> ChaosRunResult:
-    """One seeded chaos run; deterministic for a fixed (seed, hardened)."""
+def run_one(seed: int, hardened: bool = True,
+            config: Optional[UniviStorConfig] = None) -> ChaosRunResult:
+    """One seeded chaos run; deterministic for a fixed (seed, hardened).
+
+    ``config`` overrides the canonical :func:`_config` deployment — the
+    coherence tests use it to pin that fast-path variants (location
+    cache or batching off) replay the exact same observable run.
+    """
     result = ChaosRunResult(seed=seed, hardened=hardened)
     rng = StreamRNG(seed)
     sim = Simulation(MachineSpec.small_test(nodes=NODES))
-    system = sim.install_univistor(_config(hardened))
+    system = sim.install_univistor(config if config is not None
+                                   else _config(hardened))
     comm = sim.comm("chaos", NODES * PROCS_PER_NODE,
                     procs_per_node=PROCS_PER_NODE)
     expected = {r: PatternPayload(r).materialize(0, BLOCK)
@@ -251,9 +262,26 @@ def run_one(seed: int, hardened: bool = True) -> ChaosRunResult:
 
 
 def run_campaign(seeds: int, hardened: bool = True,
-                 first_seed: int = 0) -> CampaignResult:
-    """Run ``seeds`` consecutive schedules; aggregates the invariant."""
+                 first_seed: int = 0, jobs: int = 1) -> CampaignResult:
+    """Run ``seeds`` consecutive schedules; aggregates the invariant.
+
+    ``jobs > 1`` fans the seeds out over a ``multiprocessing`` pool.
+    Each run is a pure function of ``(seed, hardened)`` — every worker
+    builds its own engine and machine from scratch — so the per-seed
+    digests are bit-identical to the serial path and ``starmap``
+    preserves seed order in :attr:`CampaignResult.runs`.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     campaign = CampaignResult()
-    for seed in range(first_seed, first_seed + seeds):
+    seed_range = range(first_seed, first_seed + seeds)
+    if jobs > 1 and seeds > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=min(jobs, seeds)) as pool:
+            campaign.runs.extend(pool.starmap(
+                run_one, [(seed, hardened) for seed in seed_range]))
+        return campaign
+    for seed in seed_range:
         campaign.runs.append(run_one(seed, hardened=hardened))
     return campaign

@@ -175,7 +175,7 @@ def cmd_chaos(args) -> int:
     hardened = not args.baseline
     mode = "hardened" if hardened else "baseline"
     campaign = run_campaign(args.seeds, hardened=hardened,
-                            first_seed=args.first_seed)
+                            first_seed=args.first_seed, jobs=args.jobs)
     lost = campaign.reads_total - campaign.reads_ok
     print(f"chaos campaign: {args.seeds} seeds "
           f"[{args.first_seed}, {args.first_seed + args.seeds}), "
@@ -272,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline", action="store_true",
                    help="disable detection/takeover/scrubbing (PR 1 "
                         "replication-only story) for comparison")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan seeds out over N worker processes "
+                        "(per-seed digests stay bit-identical to the "
+                        "serial run)")
     p.add_argument("--verbose", action="store_true",
                    help="per-seed read counts and digests")
     p.set_defaults(fn=cmd_chaos)

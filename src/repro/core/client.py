@@ -24,7 +24,8 @@ from typing import Dict, Generator, List, Optional
 
 from repro.analysis.metrics import Telemetry
 from repro.core.config import StorageTier
-from repro.core.metadata import MetadataRecord
+from repro.core.metadata import (MetadataRecord, MetadataUnavailableError,
+                                 coalesce_records)
 from repro.core.server import FileSession, UniviStorServers
 from repro.simmpi.adio import ADIODriver, OpenContext
 from repro.simmpi.mpiio import IORequest
@@ -115,10 +116,30 @@ class UniviStorDriver(ADIODriver):
         pfs_ranks = 0
         inserts_per_server: Dict[int, int] = {}
         total = 0.0
+        # Metadata fast path: accumulate records across the collective op
+        # and ship one aggregated, coalesced insert per touched server at
+        # the end.  Per-request server accounting (inserts_per_server)
+        # comes from write_target_servers, which returns exactly the
+        # touched set the per-request insert returned — the simulated RPC
+        # cost is bit-identical to the unbatched path.
+        meta_batch = system.config.meta_batch
+        pending: List[MetadataRecord] = []
+        pending_spans: List[tuple] = []
         for req in requests:
             if req.length == 0:
                 continue
             writer = session.writer_for(comm, req.rank)
+            if meta_batch and pending_spans:
+                req_end = req.offset + req.length
+                if any(req.offset < s_end and s_off < req_end
+                       for s_off, s_end in pending_spans):
+                    # An intra-op overwrite: ship what's pending so the
+                    # free-overwritten pass (and the DHP free-chunk
+                    # accounting behind it) sees the earlier records of
+                    # this very op, exactly like the unbatched path.
+                    self._ship_pending(session, pending)
+                    pending = []
+                    pending_spans = []
             self._free_overwritten(session, req)
             segments = writer.write(req.offset, req.length, req.payload,
                                     req.payload_offset)
@@ -147,7 +168,29 @@ class UniviStorDriver(ADIODriver):
                 else:
                     pfs_bytes += seg.length
                     rank_pfs = True
-            touched = metadata.insert_many(records)
+            if meta_batch:
+                try:
+                    touched = metadata.write_target_servers(
+                        session.fid, req.offset, req.length)
+                except MetadataUnavailableError:
+                    # A touched range has lost its whole replica set.
+                    # Reproduce the unbatched semantics exactly: earlier
+                    # requests' records are already durable (shipped
+                    # below), this request's insert partially applies
+                    # then raises at the lost range.
+                    self._ship_pending(session, pending)
+                    cache = system.location_cache
+                    if cache is not None:
+                        cache.invalidate_file(session.fid)
+                    metadata.insert_many(records)
+                    raise
+                pending.extend(records)
+                pending_spans.append((req.offset, req.offset + req.length))
+            else:
+                touched = metadata.insert_many(records)
+                cache = system.location_cache
+                if cache is not None:
+                    cache.insert_records(records)
             for s in touched:
                 inserts_per_server[s] = inserts_per_server.get(s, 0) + 1
             for key in rank_local_tiers:
@@ -156,6 +199,8 @@ class UniviStorDriver(ADIODriver):
             bb_ranks += rank_bb
             pfs_ranks += rank_pfs
             total += req.length
+        if meta_batch and pending:
+            self._ship_pending(session, pending)
         session.bytes_written += total
         state.bytes_written += total
 
@@ -215,11 +260,49 @@ class UniviStorDriver(ADIODriver):
         self.telemetry.record(app=comm.name, op="write", path=state.ctx.path,
                               t_start=t0, nbytes=total, driver=self.name)
 
+    def _ship_pending(self, session: FileSession,
+                      pending: List[MetadataRecord]) -> None:
+        """Ship the op's accumulated records: coalesce contiguous
+        neighbours, one aggregated insert per touched server (one journal
+        batch per range), write-through into the location cache."""
+        if not pending:
+            return
+        records, merges = coalesce_records(pending)
+        self.system.metadata.insert_many(records)
+        cache = self.system.location_cache
+        if cache is not None:
+            cache.insert_records(records)
+        telemetry = self.telemetry
+        telemetry.incr("meta-batch")
+        if merges:
+            telemetry.incr("meta-coalesce", merges)
+
     def _free_overwritten(self, session: FileSession, req: IORequest) -> None:
         """Release log space for data this write supersedes (free-chunk
-        stack reuse, §II-B1)."""
-        old, _servers = self.system.metadata.lookup(session.fid, req.offset,
-                                                    req.length)
+        stack reuse, §II-B1).
+
+        The location cache answers for tracked files — the same servers
+        are still charged (``read_servers_for`` reproduces the lookup's
+        per-range contacts, failover telemetry and unavailability
+        errors), only the store search is skipped.  Old records found
+        here are this write's overwrite victims: the write-through
+        supersede invalidates their cache entries.
+        """
+        metadata = self.system.metadata
+        cache = self.system.location_cache
+        old = None
+        if cache is not None:
+            old = cache.lookup(session.fid, req.offset, req.length)
+        if old is not None:
+            metadata.read_servers_for(session.fid, req.offset, req.length)
+            self.telemetry.incr("cache-hit")
+            if old:
+                self.telemetry.incr("cache-invalidate")
+        else:
+            if cache is not None:
+                self.telemetry.incr("cache-miss")
+            old, _servers = metadata.lookup(session.fid, req.offset,
+                                            req.length)
         for rec in old:
             writer = session.writers.get(rec.proc_id)
             if writer is None:

@@ -113,6 +113,24 @@ class UniviStorConfig:
     #: chunks and replica files, repair rot from the surviving clean
     #: copy, and re-replicate volatile segments that lost their replica.
     scrub_enabled: bool = False
+    #: Metadata fast path (docs/MODEL.md §9) — batched, coalescing
+    #: metadata inserts: one aggregated insert per server per collective
+    #: write, with contiguous records merged before the journal append.
+    #: Timing-neutral (the per-request server accounting is preserved);
+    #: off reverts to one insert round per request.
+    meta_batch: bool = True
+    #: Client-side (fid, offset-range) -> (ProcID, VA) location cache:
+    #: reads on tracked files resolve placement locally and skip the
+    #: server-side store search.  Timing-neutral (the same metadata RPCs
+    #: are charged); invalidated on overwrite, flush, delete and
+    #: recovery takeover.
+    location_cache: bool = True
+    #: Journal checkpointing: fold a metadata range's write-ahead journal
+    #: into a compacted checkpoint once it reaches this many entries and
+    #: every replica is alive to acknowledge, truncating the journal so
+    #: takeover replay cost stops growing with session lifetime.
+    #: 0 disables truncation (the journal grows unboundedly).
+    journal_checkpoint: int = 0
 
     @staticmethod
     def hardened(**kw) -> "UniviStorConfig":
@@ -149,6 +167,8 @@ class UniviStorConfig:
             raise ValueError("suspect_heartbeats must be >= 1")
         if self.dead_heartbeats < self.suspect_heartbeats:
             raise ValueError("dead_heartbeats must be >= suspect_heartbeats")
+        if self.journal_checkpoint < 0:
+            raise ValueError("journal_checkpoint must be >= 0")
         if StorageTier.PFS in self.cache_tiers:
             raise ValueError("PFS is the implicit destination tier; "
                              "do not list it in cache_tiers")
@@ -192,7 +212,8 @@ class UniviStorConfig:
                  "adaptive_striping", "location_aware_reads",
                  "workflow_enabled", "flush_enabled",
                  "resilience_enabled", "adaptive_placement",
-                 "health_enabled", "recovery_enabled", "scrub_enabled"}
+                 "health_enabled", "recovery_enabled", "scrub_enabled",
+                 "meta_batch", "location_cache"}
         changes = {}
         for flag in flags:
             if flag not in valid:

@@ -26,6 +26,17 @@ servers and rebuilds the missing copies by replaying the journal, so
 lookups route to the new owner instead of failing over per-read forever,
 and a range whose *whole* replica set died comes back instead of raising
 ``MetadataUnavailableError`` until the end of time.
+
+Metadata fast path (perf extension, docs/MODEL.md §9): batched inserts
+(:meth:`insert_many` journals per-range batches and applies them grouped
+by range), contiguous-record **coalescing** before the journal append,
+**merge-on-insert compaction** inside the stores (adjacent contiguous
+records of the same writer collapse, bounding the list length every
+lookup bisects over), and **journal checkpoint + truncation** (once every
+replica of a range is alive to acknowledge, the range's journal folds
+into a compacted snapshot, so takeover replay cost stops growing with
+session lifetime).  All of it is timing-neutral: the simulated cost
+accounting is unchanged, only the simulator's own work shrinks.
 """
 
 from __future__ import annotations
@@ -37,7 +48,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 from repro.core.config import StorageTier
 from repro.core.errors import DataLossError
 
-__all__ = ["MetadataRecord", "MetadataService", "MetadataUnavailableError"]
+__all__ = ["MetadataRecord", "MetadataService", "MetadataUnavailableError",
+           "coalesce_records", "split_record", "apply_insert"]
 
 
 class MetadataUnavailableError(DataLossError):
@@ -47,6 +59,112 @@ class MetadataUnavailableError(DataLossError):
     to the data is losing the data, and the chaos harness's durability
     invariant treats both identically.
     """
+
+
+def _mergeable(prev: "MetadataRecord", cur: "MetadataRecord") -> bool:
+    """True when ``cur`` is the byte-exact continuation of ``prev``.
+
+    Safe to merge only when the merged record resolves to the same bytes
+    as the pair: same file, same writing process, same tier (a VA is only
+    meaningful within one layer — contiguous VAs can straddle a layer
+    boundary when a log fills exactly to capacity), same node, and both
+    the logical offsets *and* the virtual addresses are contiguous.
+    """
+    return (prev.fid == cur.fid
+            and prev.proc_id == cur.proc_id
+            and prev.tier is cur.tier
+            and prev.node_id == cur.node_id
+            and prev.offset + prev.length == cur.offset
+            and prev.va + prev.length == cur.va)
+
+
+def _merge(prev: "MetadataRecord", cur: "MetadataRecord") -> "MetadataRecord":
+    return MetadataRecord(prev.fid, prev.offset, prev.length + cur.length,
+                          prev.proc_id, prev.va, prev.tier, prev.node_id)
+
+
+def coalesce_records(
+        records: Iterable["MetadataRecord"],
+) -> Tuple[List["MetadataRecord"], int]:
+    """Merge *immediately consecutive* contiguous records; returns
+    ``(coalesced, merges)``.
+
+    Only adjacent pairs in the stream are considered: merging across an
+    intervening record could reorder an overwrite (a later overlapping
+    record from another process must still supersede exactly the bytes
+    it did before).  Streams from one collective write op are per-process
+    runs of chunk records, so the common case collapses completely.
+    """
+    out: List[MetadataRecord] = []
+    merges = 0
+    for rec in records:
+        if out and _mergeable(out[-1], rec):
+            out[-1] = _merge(out[-1], rec)
+            merges += 1
+        else:
+            out.append(rec)
+    return out, merges
+
+
+def split_record(record: "MetadataRecord",
+                 range_size: float) -> Iterable["MetadataRecord"]:
+    """Split a record at range boundaries so each piece has one owner."""
+    start = record.offset
+    while start < record.end:
+        boundary = (int(start // range_size) + 1) * range_size
+        end = min(record.end, int(boundary))
+        yield record.slice(start, end)
+        start = end
+
+
+def apply_insert(store: Dict[int, Tuple[List[int], List["MetadataRecord"]]],
+                 piece: "MetadataRecord", range_size: float,
+                 compaction: bool = True) -> None:
+    """Insert one range-local piece into a ``fid -> (starts, records)``
+    interval store: trim/remove overlapped records (an overwrite
+    supersedes them), then — with ``compaction`` — merge the seams the
+    insert created, never across a range boundary.
+
+    Shared by the authoritative per-server stores and the client-side
+    :class:`~repro.core.location_cache.LocationCache`, so both views hold
+    byte-identical record lists by construction.
+    """
+    starts, recs = store.setdefault(piece.fid, ([], []))
+    lo = bisect.bisect_left(starts, piece.offset)
+    if lo > 0 and recs[lo - 1].end > piece.offset:
+        lo -= 1
+    hi = lo
+    keep_left: Optional[MetadataRecord] = None
+    keep_right: Optional[MetadataRecord] = None
+    while hi < len(recs) and recs[hi].offset < piece.end:
+        old = recs[hi]
+        if old.offset < piece.offset:
+            keep_left = old.slice(old.offset, piece.offset)
+        if old.end > piece.end:
+            keep_right = old.slice(piece.end, old.end)
+        hi += 1
+    replacement = [r for r in (keep_left, piece, keep_right)
+                   if r is not None]
+    recs[lo:hi] = replacement
+    starts[lo:hi] = [r.offset for r in replacement]
+    if compaction:
+        # Merge the seams the insert created: recs[lo-1] through the
+        # record after the replacement.  Merges never cross a range
+        # boundary — replicas hold per-range piece streams, so an
+        # in-range merge is identical on every copy (and pieces keep the
+        # "one owner per piece" property the partitioning tests pin).
+        j = max(lo, 1)
+        end_idx = lo + len(replacement)
+        while j <= end_idx and j < len(recs):
+            prev, cur = recs[j - 1], recs[j]
+            if (_mergeable(prev, cur)
+                    and int(prev.offset // range_size)
+                    == int((cur.end - 1) // range_size)):
+                recs[j - 1:j + 1] = [_merge(prev, cur)]
+                del starts[j]
+                end_idx -= 1
+            else:
+                j += 1
 
 
 @dataclass(frozen=True)
@@ -93,7 +211,8 @@ class MetadataService:
     """
 
     def __init__(self, n_servers: int, range_size: float,
-                 replication: int = 1, replica_stride: int = 1):
+                 replication: int = 1, replica_stride: int = 1,
+                 compaction: bool = True, checkpoint_threshold: int = 0):
         if n_servers < 1:
             raise ValueError(f"need at least one server, got {n_servers}")
         if range_size <= 0:
@@ -103,10 +222,28 @@ class MetadataService:
         if replica_stride < 1:
             raise ValueError(
                 f"replica_stride must be >= 1, got {replica_stride}")
+        if checkpoint_threshold < 0:
+            raise ValueError(f"checkpoint_threshold must be >= 0, got "
+                             f"{checkpoint_threshold}")
         self.n_servers = n_servers
         self.range_size = float(range_size)
         self.replication = min(replication, n_servers)
         self.replica_stride = replica_stride
+        #: Merge adjacent contiguous same-writer records inside the stores
+        #: (never across a range boundary), bounding the per-fid list
+        #: length that every lookup bisects over.
+        self.compaction = compaction
+        #: Fold a range's journal into a compacted checkpoint once it
+        #: reaches this many entries *and* every replica is alive to
+        #: acknowledge.  0 disables truncation (journal grows unbounded,
+        #: the pre-fast-path behaviour).
+        self.checkpoint_threshold = checkpoint_threshold
+        #: Checkpoint/truncation observability (host-side only).
+        self.checkpoints_taken = 0
+        self.journal_entries_truncated = 0
+        #: Observer called as ``on_checkpoint(range_index, truncated)``
+        #: after a journal truncation (telemetry counter wiring).
+        self.on_checkpoint: Optional[Callable[[int, int], None]] = None
         #: Servers whose partition is lost (crash injection).
         self.failed_servers: Set[int] = set()
         #: Observer called as ``on_failover(range_index, server)`` when a
@@ -121,6 +258,10 @@ class MetadataService:
         # only loses the in-memory partition) and is what ``recover_server``
         # replays to rebuild a range on its new owner.
         self._journal: Dict[int, List[MetadataRecord]] = {}
+        # Compacted snapshot of everything truncated out of a range's
+        # journal.  Replay order is checkpoint first, then the live
+        # journal suffix — equivalent to replaying the full history.
+        self._checkpoints: Dict[int, List[MetadataRecord]] = {}
         # Ranges whose replica set was rewritten by a takeover.  Absent
         # entries use the computed round-robin set, so the healthy-cluster
         # routing (and its cost accounting) is bit-identical to before.
@@ -195,13 +336,7 @@ class MetadataService:
         return {(r % self.n_servers) for r in range(first, last + 1)}
 
     def _split_by_range(self, record: MetadataRecord) -> Iterable[MetadataRecord]:
-        """Split a record at range boundaries so each piece has one owner."""
-        start = record.offset
-        while start < record.end:
-            boundary = (int(start // self.range_size) + 1) * self.range_size
-            end = min(record.end, int(boundary))
-            yield record.slice(start, end)
-            start = end
+        return split_record(record, self.range_size)
 
     # -- mutation ----------------------------------------------------------
     def insert(self, record: MetadataRecord) -> Set[int]:
@@ -227,35 +362,142 @@ class MetadataService:
             for server in alive:
                 touched.add(server)
                 self._insert_piece(server, piece)
+            self._maybe_checkpoint(range_index)
         return touched
 
-    def insert_many(self, records: Iterable[MetadataRecord]) -> Set[int]:
-        touched: Set[int] = set()
+    def insert_many(self, records: Iterable[MetadataRecord],
+                    coalesce: bool = False,
+                    stats: Optional[Dict[str, int]] = None) -> Set[int]:
+        """Batched insert: one journal append per touched range, deduped
+        touched-server set, optional contiguous-record coalescing.
+
+        Functionally identical to inserting the records one at a time —
+        ranges partition the offset space, so grouping pieces by range
+        cannot reorder an overwrite — but the journal takes one
+        ``extend`` per range instead of one ``append`` per piece and each
+        replica applies its range's pieces in one pass.  When any touched
+        range has lost its whole replica set the call falls back to the
+        sequential path so the partial-apply semantics of the legacy loop
+        (pieces before the dead range stick, then the raise) are
+        preserved bit-for-bit.
+        """
+        if coalesce:
+            records, merges = coalesce_records(records)
+        else:
+            records = list(records)
+            merges = 0
+        per_range: Dict[int, List[MetadataRecord]] = {}
+        n_pieces = 0
         for record in records:
-            touched |= self.insert(record)
+            for piece in self._split_by_range(record):
+                per_range.setdefault(int(piece.offset // self.range_size),
+                                     []).append(piece)
+                n_pieces += 1
+        if stats is not None:
+            stats["coalesced"] = stats.get("coalesced", 0) + merges
+            stats["batches"] = stats.get("batches", 0) + len(per_range)
+            stats["pieces"] = stats.get("pieces", 0) + n_pieces
+        alive_by_range: Dict[int, List[int]] = {}
+        for range_index in per_range:
+            alive = [s for s in self.replica_servers(range_index)
+                     if s not in self.failed_servers]
+            if not alive:
+                # Legacy semantics under range loss: apply sequentially
+                # until the dead range rejects the write.
+                touched = set()
+                for record in records:
+                    touched |= self.insert(record)
+                return touched
+            alive_by_range[range_index] = alive
+        touched = set()
+        for range_index, pieces in per_range.items():
+            self._journal.setdefault(range_index, []).extend(pieces)
+            for server in alive_by_range[range_index]:
+                touched.add(server)
+                insert = self._insert_piece
+                for piece in pieces:
+                    insert(server, piece)
+            self._maybe_checkpoint(range_index)
         return touched
 
     def _insert_piece(self, server: int, piece: MetadataRecord) -> None:
-        starts, recs = self._stores[server].setdefault(
-            piece.fid, ([], []))
-        # Remove/trim overlapped records (an overwrite supersedes them).
-        lo = bisect.bisect_left(starts, piece.offset)
-        if lo > 0 and recs[lo - 1].end > piece.offset:
-            lo -= 1
-        hi = lo
-        keep_left: Optional[MetadataRecord] = None
-        keep_right: Optional[MetadataRecord] = None
-        while hi < len(recs) and recs[hi].offset < piece.end:
-            old = recs[hi]
-            if old.offset < piece.offset:
-                keep_left = old.slice(old.offset, piece.offset)
-            if old.end > piece.end:
-                keep_right = old.slice(piece.end, old.end)
-            hi += 1
-        replacement = [r for r in (keep_left, piece, keep_right)
-                       if r is not None]
-        recs[lo:hi] = replacement
-        starts[lo:hi] = [r.offset for r in replacement]
+        self._insert_into(self._stores[server], piece)
+
+    def _insert_into(self,
+                     store: Dict[int, Tuple[List[int], List[MetadataRecord]]],
+                     piece: MetadataRecord) -> None:
+        apply_insert(store, piece, self.range_size, self.compaction)
+
+    def compact(self, fid: Optional[int] = None) -> int:
+        """Compaction sweep: merge every adjacent contiguous same-writer
+        pair (within one range) across all stores; returns merges done.
+
+        Merge-on-insert keeps stores compacted incrementally; the sweep
+        covers stores populated while ``compaction`` was off, or after
+        bulk mutations, and is what long-lived deployments would run in
+        the background.
+        """
+        merged = 0
+        for server, store in enumerate(self._stores):
+            if server in self.failed_servers:
+                continue
+            fids = [fid] if fid is not None else list(store)
+            for f in fids:
+                entry = store.get(f)
+                if not entry:
+                    continue
+                starts, recs = entry
+                j = 1
+                while j < len(recs):
+                    prev, cur = recs[j - 1], recs[j]
+                    if (_mergeable(prev, cur)
+                            and int(prev.offset // self.range_size)
+                            == int((cur.end - 1) // self.range_size)):
+                        recs[j - 1:j + 1] = [_merge(prev, cur)]
+                        del starts[j]
+                        merged += 1
+                    else:
+                        j += 1
+        return merged
+
+    # -- journal checkpointing ---------------------------------------------
+    def _maybe_checkpoint(self, range_index: int) -> None:
+        """Truncate a range's journal behind a compacted checkpoint.
+
+        Fires when the live journal reaches ``checkpoint_threshold``
+        entries and **every** replica of the range is alive to
+        acknowledge the batch (a dead replica has not acked; its rebuild
+        keeps the full journal until it is recovered or replaced).  The
+        checkpoint is the scratch-replay of (old checkpoint + journal):
+        exactly the record list a store holds for the range, so replaying
+        checkpoint-then-suffix reproduces what replaying the full history
+        would have.  The journal key survives (emptied, not deleted) —
+        range ownership is discovered by iterating journal keys.
+        """
+        threshold = self.checkpoint_threshold
+        if threshold <= 0:
+            return
+        journal = self._journal.get(range_index)
+        if not journal or len(journal) < threshold:
+            return
+        for server in self.replica_servers(range_index):
+            if server in self.failed_servers:
+                return
+        scratch: Dict[int, Tuple[List[int], List[MetadataRecord]]] = {}
+        for piece in self._checkpoints.get(range_index, ()):
+            self._insert_into(scratch, piece)
+        for piece in journal:
+            self._insert_into(scratch, piece)
+        snapshot: List[MetadataRecord] = []
+        for f in sorted(scratch):
+            snapshot.extend(scratch[f][1])
+        truncated = len(journal)
+        self._checkpoints[range_index] = snapshot
+        self._journal[range_index] = []
+        self.checkpoints_taken += 1
+        self.journal_entries_truncated += truncated
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(range_index, truncated)
 
     def delete_file(self, fid: int) -> Set[int]:
         """Drop all records of ``fid``; returns servers contacted."""
@@ -264,19 +506,32 @@ class MetadataService:
             if fid in store:
                 touched.add(server)
                 del store[fid]
-        for range_index, entries in list(self._journal.items()):
+        for range_index in list(self._journal.keys() | self._checkpoints.keys()):
+            entries = self._journal.get(range_index, [])
             kept = [p for p in entries if p.fid != fid]
-            if len(kept) != len(entries):
-                if kept:
-                    self._journal[range_index] = kept
-                else:
-                    del self._journal[range_index]
+            ck = [p for p in self._checkpoints.get(range_index, ())
+                  if p.fid != fid]
+            if ck:
+                self._checkpoints[range_index] = ck
+            else:
+                self._checkpoints.pop(range_index, None)
+            if kept or ck:
+                self._journal[range_index] = kept
+            elif range_index in self._journal:
+                del self._journal[range_index]
         return touched
 
     # -- recovery (range takeover) -----------------------------------------
     def journal_records(self, range_index: int) -> List[MetadataRecord]:
-        """The write-ahead journal of a range, in arrival order."""
-        return list(self._journal.get(range_index, ()))
+        """What a takeover must replay for a range, in replay order:
+        the compacted checkpoint (if any) followed by the live journal
+        suffix.  With truncation enabled this is what bounds replay cost
+        for long-lived sessions."""
+        checkpoint = self._checkpoints.get(range_index)
+        suffix = self._journal.get(range_index, ())
+        if checkpoint:
+            return list(checkpoint) + list(suffix)
+        return list(suffix)
 
     def recover_server(self, dead: int) -> List[Tuple[int, int]]:
         """Reassign every range that lost a copy with server ``dead``.
@@ -296,7 +551,8 @@ class MetadataService:
         if not 0 <= dead < self.n_servers:
             raise ValueError(f"no server {dead}")
         actions: List[Tuple[int, int]] = []
-        for range_index in sorted(self._journal):
+        for range_index in sorted(self._journal.keys()
+                                  | self._checkpoints.keys()):
             candidates = self.replica_servers(range_index)
             if dead not in candidates:
                 continue
@@ -320,9 +576,71 @@ class MetadataService:
         return actions
 
     def _replay(self, range_index: int, server: int) -> None:
-        """Rebuild one range's partition on ``server`` from the journal."""
+        """Rebuild one range's partition on ``server``: checkpoint first,
+        then the journal suffix (equivalent to the full history)."""
+        for piece in self._checkpoints.get(range_index, ()):
+            self._insert_piece(server, piece)
         for piece in self._journal.get(range_index, ()):
             self._insert_piece(server, piece)
+
+    # -- cost accounting (fast-path helpers) -------------------------------
+    def write_target_servers(self, fid: int, offset: int,
+                             length: int) -> Set[int]:
+        """Servers an insert covering [offset, offset+length) contacts —
+        the live replica set of every touched range.
+
+        Client-computable without the records themselves: the batched
+        write path prices its aggregated insert per *request* with this,
+        reproducing exactly the touched set the per-request insert
+        returned.  Raises like :meth:`insert` when a touched range has
+        lost its whole replica set.
+        """
+        if length <= 0:
+            return set()
+        end = offset + length
+        touched: Set[int] = set()
+        first = int(offset // self.range_size)
+        last = int((end - 1) // self.range_size)
+        for range_index in range(first, last + 1):
+            alive = [s for s in self.replica_servers(range_index)
+                     if s not in self.failed_servers]
+            if not alive:
+                sub_lo = max(offset, int(range_index * self.range_size))
+                sub_hi = min(end, int((range_index + 1) * self.range_size))
+                raise MetadataUnavailableError(
+                    f"metadata range {range_index} lost: all replicas "
+                    f"{self.replica_servers(range_index)} have failed",
+                    fid=fid, offset=sub_lo, length=sub_hi - sub_lo)
+            touched.update(alive)
+        return touched
+
+    def read_servers_for(self, fid: int, offset: int,
+                         length: int) -> Set[int]:
+        """Servers a :meth:`lookup` over the span would contact, without
+        searching the stores — the location-cache hit path.
+
+        Calls :meth:`read_server_of` per range in the same order as
+        ``lookup``, so failover telemetry fires identically and a lost
+        range raises the same request-annotated
+        :class:`MetadataUnavailableError`.
+        """
+        if length <= 0:
+            return set()
+        end = offset + length
+        touched: Set[int] = set()
+        first = int(offset // self.range_size)
+        last = int((end - 1) // self.range_size)
+        for range_index in range(first, last + 1):
+            try:
+                touched.add(self.read_server_of(range_index))
+            except MetadataUnavailableError as err:
+                err.fid = fid
+                err.offset = max(offset, int(range_index * self.range_size))
+                err.length = (min(end, int((range_index + 1)
+                                           * self.range_size))
+                              - err.offset)
+                raise
+        return touched
 
     # -- lookup ------------------------------------------------------------
     def lookup(self, fid: int, offset: int,

@@ -64,6 +64,15 @@ class RecoveryService:
         actions = metadata.recover_server(server_id)
         if not actions:
             return
+        # Range takeover rewrote replica assignments under the clients:
+        # every location cache is cleared (conservative — the cached
+        # records may still be right, but the coherence contract is
+        # "never serve from a cache a takeover may have outdated").
+        cache = getattr(self.system, "location_cache", None)
+        if cache is not None:
+            dropped = cache.clear()
+            if dropped:
+                self.system.count("cache-invalidate", dropped)
         replayed = 0
         for range_index, new_primary in actions:
             replayed += len(metadata.journal_records(range_index))

@@ -109,8 +109,18 @@ class UniviStorServers:
             replication=config.metadata_replication,
             replica_stride=(config.servers_per_node
                             if self.total_servers > config.servers_per_node
-                            else 1))
+                            else 1),
+            checkpoint_threshold=config.journal_checkpoint)
         self.metadata.on_failover = self._note_metadata_failover
+        self.metadata.on_checkpoint = self._note_journal_checkpoint
+        # Client-side location cache (metadata fast path, §9): tracked
+        # files resolve read placement locally; write-through plus the
+        # invalidation hooks (overwrite / flush / delete / takeover)
+        # keep it a byte-identical mirror of the authoritative stores.
+        from repro.core.location_cache import LocationCache
+        self.location_cache = (
+            LocationCache(config.metadata_range_size)
+            if config.location_cache else None)
         self.scheduler = SchedulerService(machine, config, self.program)
         self.workflow = WorkflowManager(self.engine)
         self._sessions: Dict[str, FileSession] = {}
@@ -156,6 +166,17 @@ class UniviStorServers:
     def _note_metadata_failover(self, range_index: int, server: int) -> None:
         self.telemetry_hook("metadata-failover",
                             f"range:{range_index}->server:{server}", 0.0)
+
+    def _note_journal_checkpoint(self, range_index: int,
+                                 truncated: int) -> None:
+        self.count("journal-checkpoint")
+        self.count("journal-truncated-entries", truncated)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Bump a telemetry counter if a sink is attached (fast-path
+        observability; deliberately not an :class:`OpRecord`)."""
+        if self.telemetry is not None:
+            self.telemetry.incr(name, value)
 
     @property
     def alive_servers(self) -> int:
@@ -323,6 +344,10 @@ class UniviStorServers:
                 raise FileNotFoundError(path)
             sess = FileSession(self, self.fid_of(path), path)
             self._sessions[path] = sess
+            if self.location_cache is not None:
+                # Track from birth: no record of the fid exists yet, so
+                # the empty cache is a complete mirror.
+                self.location_cache.begin_file(sess.fid)
         return sess
 
     def has_session(self, path: str) -> bool:
@@ -377,6 +402,9 @@ class UniviStorServers:
         if sess is None:
             return
         self.metadata.delete_file(sess.fid)
+        if self.location_cache is not None:
+            if self.location_cache.invalidate_file(sess.fid):
+                self.count("cache-invalidate")
         for rank, writer in sess.writers.items():
             for log in writer.logs:
                 if log.device is not None and log.allocated_chunks:

@@ -9,7 +9,7 @@ gated behind ``CHAOS_FULL=1``.
 
 from __future__ import annotations
 
-from repro.chaos import run_campaign, run_one
+from repro.chaos import _config, run_campaign, run_one
 
 SMOKE_SEEDS = 20
 
@@ -57,6 +57,44 @@ class TestChaosDeterminism:
         a = run_one(7, hardened=True)
         b = run_one(8, hardened=True)
         assert a.digest != b.digest
+
+
+class TestFastPathCoherence:
+    """The metadata fast path must be observation-neutral under chaos:
+    turning the location cache or write batching off replays the exact
+    same run, digest and all — i.e. a stale cache can never have served
+    wrong bytes (or even different timing) anywhere in the storm."""
+
+    SEEDS = (3, 7, 11)
+
+    def test_cache_on_off_digests_identical_hardened(self):
+        for seed in self.SEEDS:
+            on = run_one(seed, hardened=True)
+            off = run_one(seed, hardened=True,
+                          config=_config(True).without("location_cache"))
+            assert on.digest == off.digest, f"seed {seed}"
+            assert on.telemetry_ops == off.telemetry_ops
+
+    def test_batching_on_off_digests_identical(self):
+        # Compared on the baseline config: coalescing shrinks journal
+        # record counts, and in hardened mode the takeover replay *cost*
+        # is priced per journal record — a real (and intended) timing
+        # difference, not an observation leak.  The baseline never
+        # replays, so batching on/off must be bit-identical there.
+        for seed in self.SEEDS:
+            on = run_one(seed, hardened=False,
+                         config=_config(False))
+            off = run_one(seed, hardened=False,
+                          config=_config(False).without("meta_batch"))
+            assert on.digest == off.digest, f"seed {seed}"
+            assert on.telemetry_ops == off.telemetry_ops
+
+    def test_parallel_campaign_digests_match_serial(self):
+        serial = run_campaign(4, hardened=True)
+        fanned = run_campaign(4, hardened=True, jobs=2)
+        assert [r.digest for r in serial.runs] \
+            == [r.digest for r in fanned.runs]
+        assert [r.seed for r in fanned.runs] == [0, 1, 2, 3]
 
 
 class TestChaosBaseline:
