@@ -55,6 +55,10 @@ _STORM_WINDOW = 0.3
 #: Extra settle after the storm: must exceed the detector's dead delay
 #: (heartbeat_interval * dead_heartbeats = 0.2s) plus restore tails.
 _SETTLE = 0.6
+#: Chaos mixes: ``storm`` is the crash/outage/corruption schedule;
+#: ``partition`` swaps in network cuts with a mid-partition overwrite
+#: phase that probes quorum admission and stale-read fencing.
+MIXES = ("storm", "partition")
 
 
 @dataclass
@@ -63,8 +67,14 @@ class ChaosRunResult:
 
     seed: int
     hardened: bool
+    mix: str = "storm"
     reads_ok: int = 0
     reads_lost: int = 0
+    #: Mid-partition overwrite outcomes (``partition`` mix only): a
+    #: write either commits on a majority or is rejected whole with a
+    #: structured error — ``writes_lost`` counts honest rejections.
+    writes_ok: int = 0
+    writes_lost: int = 0
     #: Invariant violations: silent wrong bytes or unexpected exceptions.
     violations: List[str] = field(default_factory=list)
     faults: Tuple[str, ...] = ()
@@ -101,6 +111,14 @@ class CampaignResult:
         return 1.0 if total == 0 else self.reads_ok / total
 
     @property
+    def writes_ok(self) -> int:
+        return sum(r.writes_ok for r in self.runs)
+
+    @property
+    def writes_lost(self) -> int:
+        return sum(r.writes_lost for r in self.runs)
+
+    @property
     def violations(self) -> List[str]:
         out: List[str] = []
         for r in self.runs:
@@ -112,19 +130,36 @@ class CampaignResult:
         return not self.violations
 
 
-def _config(hardened: bool) -> UniviStorConfig:
+def _config(hardened: bool, mix: str = "storm") -> UniviStorConfig:
     """The run configuration.  Both modes replicate and retry (PR 1);
     only ``hardened`` detects, takes over metadata ranges and scrubs.
     The metadata fast path runs at full strength: batching and the
     location cache are on by default, and a small ``journal_checkpoint``
     forces truncation to actually fire inside every run (the 64 KiB
-    ranges journal only a few records each)."""
-    config = UniviStorConfig.hardened(
-        metadata_range_size=float(64 * KiB), journal_checkpoint=2)
+    ranges journal only a few records each).
+
+    The ``partition`` mix replicates each range three ways (stride
+    ``servers_per_node`` = one copy per node, so cutting one node off
+    still leaves a two-of-three majority), shortens the lease so fencing
+    resolves inside the storm window, and turns on periodic rate-limited
+    scrubbing so deferral and resume paths get exercised."""
+    kw = dict(metadata_range_size=float(64 * KiB), journal_checkpoint=2)
+    if mix == "partition":
+        kw.update(metadata_replication=3, lease_ttl=0.25,
+                  scrub_interval=0.15, scrub_rate_limit=float(1024 * KiB))
+    config = UniviStorConfig.hardened(**kw)
     if not hardened:
         config = config.without("health_enabled", "recovery_enabled",
                                 "scrub_enabled")
     return config
+
+
+def _settle_for(config: UniviStorConfig) -> float:
+    """Post-storm settle: past the dead-declaration delay, the lease
+    expiry (fencing fires at ``lease_ttl``), and restore tails."""
+    return max(_SETTLE,
+               config.heartbeat_interval * config.dead_heartbeats + 0.4,
+               config.lease_ttl + 0.4)
 
 
 def _schedule(rng: StreamRNG, base: float, n_nodes: int,
@@ -183,19 +218,72 @@ def _schedule(rng: StreamRNG, base: float, n_nodes: int,
     return FaultSpec(events=tuple(events))
 
 
+def _partition_schedule(rng: StreamRNG, base: float, n_nodes: int,
+                        n_servers: int, servers_per_node: int,
+                        lease_ttl: float) -> FaultSpec:
+    """Draw one partition-heavy storm starting at ``base``.
+
+    Always cuts one node's server group off the metadata plane —
+    usually symmetrically (heartbeats lost too, so the fencing clock
+    runs), sometimes one-way (requests lost but heartbeats arrive:
+    unavailable, never fenced).  Durations straddle ``lease_ttl`` so
+    some cuts heal before the lease expires (no takeover may fire) and
+    some outlive it (the survivors must fence and take over).  A second
+    disjoint cut, a server crash, and silent rot ride along with
+    bounded probability.
+    """
+    s = rng.stream("chaos.partition-schedule")
+
+    def when() -> float:
+        return base + float(s.uniform(0.005, 0.4 * _STORM_WINDOW))
+
+    events: List[Fault] = []
+    victim = int(s.integers(n_nodes))
+    mode = "sym" if s.uniform() < 0.7 else "oneway"
+    events.append(Fault(at=when(), kind="partition", nodes=(victim,),
+                        mode=mode,
+                        duration=float(s.uniform(0.1, lease_ttl + 0.3))))
+    if s.uniform() < 0.25:
+        # A second, briefer disjoint cut: while both are active no
+        # range has a majority, so overwrites must reject whole.
+        other = (victim + 1 + int(s.integers(n_nodes - 1))) % n_nodes
+        events.append(Fault(at=when(), kind="partition", nodes=(other,),
+                            mode="sym",
+                            duration=float(s.uniform(0.05,
+                                                     0.5 * lease_ttl))))
+    if s.uniform() < 0.3:
+        events.append(Fault(at=when(), kind="server-crash",
+                            target=int(s.integers(n_servers))))
+    for _ in range(int(s.integers(2))):
+        roll = s.uniform()
+        if roll < 0.5:
+            events.append(Fault(at=when(), kind="data-corrupt", tier="dram",
+                                target=int(s.integers(n_nodes)),
+                                nbytes=float(8 * KiB)))
+        else:
+            events.append(Fault(at=when(), kind="data-corrupt",
+                                tier="shared_bb", nbytes=float(8 * KiB)))
+    return FaultSpec(events=tuple(events))
+
+
 def run_one(seed: int, hardened: bool = True,
-            config: Optional[UniviStorConfig] = None) -> ChaosRunResult:
-    """One seeded chaos run; deterministic for a fixed (seed, hardened).
+            config: Optional[UniviStorConfig] = None,
+            mix: str = "storm") -> ChaosRunResult:
+    """One seeded chaos run; deterministic for a fixed (seed, hardened,
+    mix, config).
 
     ``config`` overrides the canonical :func:`_config` deployment — the
     coherence tests use it to pin that fast-path variants (location
-    cache or batching off) replay the exact same observable run.
+    cache or batching off) replay the exact same observable run; the
+    chaos CLI uses it to tune detector/lease knobs per campaign.
     """
-    result = ChaosRunResult(seed=seed, hardened=hardened)
+    if mix not in MIXES:
+        raise ValueError(f"unknown chaos mix {mix!r}; valid: {MIXES}")
+    result = ChaosRunResult(seed=seed, hardened=hardened, mix=mix)
     rng = StreamRNG(seed)
     sim = Simulation(MachineSpec.small_test(nodes=NODES))
-    system = sim.install_univistor(config if config is not None
-                                   else _config(hardened))
+    cfg = config if config is not None else _config(hardened, mix)
+    system = sim.install_univistor(cfg)
     comm = sim.comm("chaos", NODES * PROCS_PER_NODE,
                     procs_per_node=PROCS_PER_NODE)
     expected = {r: PatternPayload(r).materialize(0, BLOCK)
@@ -209,11 +297,60 @@ def run_one(seed: int, hardened: bool = True,
         yield from fh.close()
         yield from fh.sync()
 
-        spec = _schedule(rng, sim.now, NODES, system.total_servers,
-                         system.config.servers_per_node)
+        if mix == "partition":
+            spec = _partition_schedule(rng, sim.now, NODES,
+                                       system.total_servers,
+                                       system.config.servers_per_node,
+                                       cfg.lease_ttl)
+        else:
+            spec = _schedule(rng, sim.now, NODES, system.total_servers,
+                             system.config.servers_per_node)
         injector = sim.install_faults(spec, seed=seed)
         result.faults = tuple(f.describe() for f in injector.timeline)
-        yield sim.engine.timeout(_STORM_WINDOW + _SETTLE)
+        if system.scrub is not None and cfg.scrub_interval > 0:
+            # Periodic scrubbing across the storm: ticks that land
+            # while recovery or flushes are in flight defer.
+            system.scrub.start_periodic()
+        if mix == "partition":
+            # Overwrite phase in the middle of the storm: every rank
+            # rewrites its block (v2 pattern) while cuts are active.
+            # Quorum admission must either commit a write on a majority
+            # or reject it whole — ``expected`` tracks which, so a
+            # healed ex-owner serving the old pattern after a committed
+            # overwrite surfaces as silent corruption below.
+            yield sim.engine.timeout(0.5 * _STORM_WINDOW)
+            fh = yield from sim.open(comm, "/chaos", "w",
+                                     fstype="univistor")
+            for r in range(comm.size):
+                try:
+                    yield from fh.write_at_all([IORequest.contiguous_block(
+                        r, BLOCK, PatternPayload(r + comm.size))])
+                except DataLossError:
+                    # Quorum unreachable: the honest whole-write
+                    # rejection the invariant allows.
+                    result.writes_lost += 1
+                    continue
+                except Exception as err:  # noqa: BLE001 - the invariant
+                    result.violations.append(
+                        f"rank {r}: overwrite unhandled "
+                        f"{type(err).__name__}: {err}")
+                    continue
+                expected[r] = PatternPayload(r + comm.size).materialize(
+                    0, BLOCK)
+                result.writes_ok += 1
+            try:
+                yield from fh.close()
+                yield from fh.sync()
+            except DataLossError:
+                pass  # flush blocked by the cut; caches still serve
+            except Exception as err:  # noqa: BLE001 - the invariant
+                result.violations.append(
+                    f"overwrite close: unhandled "
+                    f"{type(err).__name__}: {err}")
+            yield sim.engine.timeout(0.5 * _STORM_WINDOW
+                                     + _settle_for(cfg))
+        else:
+            yield sim.engine.timeout(_STORM_WINDOW + _SETTLE)
         if system.scrub is not None:
             # Periodic background scrubbing: one pass between the storm
             # and the reads (node deaths already trigger their own).
@@ -251,9 +388,10 @@ def run_one(seed: int, hardened: bool = True,
             f"engine: unhandled {type(err).__name__}: {err}")
     result.telemetry_ops = tuple(r.op for r in sim.telemetry.records)
     h = hashlib.sha256()
-    h.update(repr((result.seed, result.hardened, result.reads_ok,
-                   result.reads_lost, tuple(result.violations),
-                   result.faults)).encode())
+    h.update(repr((result.seed, result.hardened, result.mix,
+                   result.reads_ok, result.reads_lost,
+                   result.writes_ok, result.writes_lost,
+                   tuple(result.violations), result.faults)).encode())
     for rec in sim.telemetry.records:
         h.update(f"{rec.app}|{rec.op}|{rec.path}|{rec.t_start:.9f}|"
                  f"{rec.t_end:.9f}|{rec.nbytes}\n".encode())
@@ -262,17 +400,23 @@ def run_one(seed: int, hardened: bool = True,
 
 
 def run_campaign(seeds: int, hardened: bool = True,
-                 first_seed: int = 0, jobs: int = 1) -> CampaignResult:
+                 first_seed: int = 0, jobs: int = 1,
+                 mix: str = "storm",
+                 config: Optional[UniviStorConfig] = None) -> CampaignResult:
     """Run ``seeds`` consecutive schedules; aggregates the invariant.
 
     ``jobs > 1`` fans the seeds out over a ``multiprocessing`` pool.
-    Each run is a pure function of ``(seed, hardened)`` — every worker
-    builds its own engine and machine from scratch — so the per-seed
-    digests are bit-identical to the serial path and ``starmap``
-    preserves seed order in :attr:`CampaignResult.runs`.
+    Each run is a pure function of ``(seed, hardened, mix, config)`` —
+    every worker builds its own engine and machine from scratch — so the
+    per-seed digests are bit-identical to the serial path and
+    ``starmap`` preserves seed order in :attr:`CampaignResult.runs`.
+    (``UniviStorConfig`` is a plain frozen dataclass, so the override
+    pickles across the pool.)
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if mix not in MIXES:
+        raise ValueError(f"unknown chaos mix {mix!r}; valid: {MIXES}")
     campaign = CampaignResult()
     seed_range = range(first_seed, first_seed + seeds)
     if jobs > 1 and seeds > 1:
@@ -280,8 +424,10 @@ def run_campaign(seeds: int, hardened: bool = True,
 
         with multiprocessing.Pool(processes=min(jobs, seeds)) as pool:
             campaign.runs.extend(pool.starmap(
-                run_one, [(seed, hardened) for seed in seed_range]))
+                run_one,
+                [(seed, hardened, config, mix) for seed in seed_range]))
         return campaign
     for seed in seed_range:
-        campaign.runs.append(run_one(seed, hardened=hardened))
+        campaign.runs.append(run_one(seed, hardened=hardened,
+                                     config=config, mix=mix))
     return campaign

@@ -6,7 +6,10 @@ Subcommands::
     repro micro     --procs N --system SYSTEM [--mb-per-proc M] [--read]
     repro vpic      --procs N --system SYSTEM [--steps S] [--compute SEC]
     repro workflow  --procs N --system SYSTEM [--steps S] [--overlap]
-    repro chaos     [--seeds N] [--first-seed S] [--baseline] [--verbose]
+    repro chaos     [--seeds N] [--first-seed S] [--mix storm|partition]
+                    [--baseline] [--jobs N] [--verbose] [--lease-ttl T]
+                    [--heartbeat-interval T] [--suspect-heartbeats K]
+                    [--dead-heartbeats K]
     repro figures   [--sweep paper|small|...] [--out DIR] [--only fig6a,..]
 
 ``repro`` is installed as a console script; ``python -m repro.cli`` works
@@ -100,7 +103,10 @@ def _print_fault_report(sim) -> None:
            "replicate-lost", "replicate-failed", "flush-lost", "flush-failed",
            "health-suspect", "health-dead", "recovery-takeover",
            "recovery-replay", "read-corrupt", "scrub", "scrub-repair",
-           "scrub-lost", "scrub-rereplicate")
+           "scrub-lost", "scrub-rereplicate",
+           "fault-partition", "partition-heal", "health-fenced",
+           "health-recovered", "lease-expired", "recovery-replay-resume",
+           "recovery-replay-aborted", "pfs-namespace-fallback")
     rows = [r for r in sim.telemetry.records if r.op in ops]
     print(f"\nfault/recovery telemetry ({len(rows)} events):")
     for r in rows:
@@ -171,17 +177,35 @@ def cmd_workflow(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    from repro.chaos import run_campaign
+    from repro.chaos import _config, run_campaign
     hardened = not args.baseline
     mode = "hardened" if hardened else "baseline"
+    # Detector/lease tuning: lower heartbeat intervals and thresholds
+    # shrink detection latency but raise the false-positive risk under
+    # transient cuts (a partitioned-but-alive server gets fenced sooner).
+    overrides = {key: value for key, value in (
+        ("heartbeat_interval", args.heartbeat_interval),
+        ("suspect_heartbeats", args.suspect_heartbeats),
+        ("dead_heartbeats", args.dead_heartbeats),
+        ("lease_ttl", args.lease_ttl)) if value is not None}
+    config = None
+    if overrides:
+        import dataclasses
+        config = dataclasses.replace(_config(hardened, args.mix), **overrides)
     campaign = run_campaign(args.seeds, hardened=hardened,
-                            first_seed=args.first_seed, jobs=args.jobs)
+                            first_seed=args.first_seed, jobs=args.jobs,
+                            mix=args.mix, config=config)
     lost = campaign.reads_total - campaign.reads_ok
     print(f"chaos campaign: {args.seeds} seeds "
           f"[{args.first_seed}, {args.first_seed + args.seeds}), "
-          f"{mode} configuration")
+          f"{mode} configuration, {args.mix} mix")
     print(f"  reads: {campaign.reads_ok}/{campaign.reads_total} correct "
           f"({campaign.success_rate:.2%}), {lost} structured losses")
+    if args.mix == "partition":
+        total_writes = campaign.writes_ok + campaign.writes_lost
+        print(f"  mid-partition overwrites: {campaign.writes_ok}/"
+              f"{total_writes} committed on a majority, "
+              f"{campaign.writes_lost} rejected whole (quorum lost)")
     print(f"  invariant violations: {len(campaign.violations)}")
     for violation in campaign.violations:
         print(f"    VIOLATION {violation}")
@@ -276,6 +300,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fan seeds out over N worker processes "
                         "(per-seed digests stay bit-identical to the "
                         "serial run)")
+    p.add_argument("--mix", default="storm",
+                   choices=["storm", "partition"],
+                   help="fault mix: crash/outage/corruption storm, or "
+                        "network partitions with a mid-cut overwrite "
+                        "phase (quorum + fencing probes)")
+    p.add_argument("--heartbeat-interval", type=float, default=None,
+                   metavar="SEC",
+                   help="override the detector's heartbeat period "
+                        "(smaller = faster detection, more "
+                        "false-positive fencing under transient cuts)")
+    p.add_argument("--suspect-heartbeats", type=int, default=None,
+                   metavar="K",
+                   help="missed beats before a target is suspected")
+    p.add_argument("--dead-heartbeats", type=int, default=None,
+                   metavar="K",
+                   help="missed beats before a target is declared dead")
+    p.add_argument("--lease-ttl", type=float, default=None, metavar="SEC",
+                   help="override the ownership lease TTL (partitioned "
+                        "ex-owners are fenced once it expires)")
     p.add_argument("--verbose", action="store_true",
                    help="per-seed read counts and digests")
     p.set_defaults(fn=cmd_chaos)

@@ -25,7 +25,7 @@ from typing import Dict, Generator, List, Optional
 from repro.analysis.metrics import Telemetry
 from repro.core.config import StorageTier
 from repro.core.metadata import (MetadataRecord, MetadataUnavailableError,
-                                 coalesce_records)
+                                 QuorumLostError, coalesce_records)
 from repro.core.server import FileSession, UniviStorServers
 from repro.simmpi.adio import ADIODriver, OpenContext
 from repro.simmpi.mpiio import IORequest
@@ -123,11 +123,27 @@ class UniviStorDriver(ADIODriver):
         # touched set the per-request insert returned — the simulated RPC
         # cost is bit-identical to the unbatched path.
         meta_batch = system.config.meta_batch
+        quorum = system.config.meta_quorum
         pending: List[MetadataRecord] = []
         pending_spans: List[tuple] = []
         for req in requests:
             if req.length == 0:
                 continue
+            probe = None
+            if quorum:
+                # Probe-first admission: with quorum an insert can be
+                # rejected while replicas survive, so acceptance must be
+                # atomic per request — probe before freeing overwritten
+                # chunks or placing bytes, leaving a rejected request
+                # fully un-applied (the superseded records and the chunks
+                # they point at stay live and readable).
+                try:
+                    probe = metadata.write_target_servers(
+                        session.fid, req.offset, req.length)
+                except (MetadataUnavailableError, QuorumLostError):
+                    if meta_batch:
+                        self._ship_pending(session, pending)
+                    raise
             writer = session.writer_for(comm, req.rank)
             if meta_batch and pending_spans:
                 req_end = req.offset + req.length
@@ -169,21 +185,27 @@ class UniviStorDriver(ADIODriver):
                     pfs_bytes += seg.length
                     rank_pfs = True
             if meta_batch:
-                try:
-                    touched = metadata.write_target_servers(
-                        session.fid, req.offset, req.length)
-                except MetadataUnavailableError:
-                    # A touched range has lost its whole replica set.
-                    # Reproduce the unbatched semantics exactly: earlier
-                    # requests' records are already durable (shipped
-                    # below), this request's insert partially applies
-                    # then raises at the lost range.
-                    self._ship_pending(session, pending)
-                    cache = system.location_cache
-                    if cache is not None:
-                        cache.invalidate_file(session.fid)
-                    metadata.insert_many(records)
-                    raise
+                if probe is not None:
+                    # Quorum mode already probed this request's admission
+                    # up front; the state cannot have changed since.
+                    touched = probe
+                else:
+                    try:
+                        touched = metadata.write_target_servers(
+                            session.fid, req.offset, req.length)
+                    except (MetadataUnavailableError, QuorumLostError):
+                        # A touched range has lost its whole replica set.
+                        # Reproduce the unbatched semantics exactly:
+                        # earlier requests' records are already durable
+                        # (shipped below), this request's insert
+                        # partially applies then raises at the lost
+                        # range.
+                        self._ship_pending(session, pending)
+                        cache = system.location_cache
+                        if cache is not None:
+                            cache.invalidate_file(session.fid)
+                        metadata.insert_many(records)
+                        raise
                 pending.extend(records)
                 pending_spans.append((req.offset, req.offset + req.length))
             else:

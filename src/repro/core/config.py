@@ -81,6 +81,21 @@ class UniviStorConfig:
     #: of ``servers_per_node`` keeps replicas off the primary's node).
     #: 1 = the paper's unreplicated KV: a server crash loses its ranges.
     metadata_replication: int = 1
+    #: Majority-quorum metadata (CAP-complete failure model): writes need
+    #: acks from a majority of a range's replica set (reachable, alive and
+    #: current), reads refuse to serve from a lagging or fenced copy, and
+    #: a missed quorum raises a structured
+    #: :class:`~repro.core.errors.QuorumLostError` instead of applying a
+    #: write the minority side could later contradict.  Off (the default)
+    #: keeps the any-replica-alive semantics of PR 1.
+    meta_quorum: bool = False
+    #: Lease duration for range ownership, in seconds.  Owners renew their
+    #: lease via heartbeat; a partitioned ex-owner's lease expires
+    #: ``lease_ttl`` after its last beat, after which the survivor side
+    #: may safely take its ranges over (the expired lease *fences* the
+    #: ex-owner: stale-epoch reads and writes are rejected, so a healed
+    #: partition cannot resurrect stale data).
+    lease_ttl: float = 0.3
     #: Bounded retry for tier I/O on the flush/read/replication paths:
     #: how many re-attempts a transient failure gets (0 = fail fast).
     io_retry_limit: int = 0
@@ -113,6 +128,18 @@ class UniviStorConfig:
     #: chunks and replica files, repair rot from the surviving clean
     #: copy, and re-replicate volatile segments that lost their replica.
     scrub_enabled: bool = False
+    #: Proactive scrub cadence in seconds: with a positive interval,
+    #: :meth:`ScrubService.start_periodic` repeats passes every
+    #: ``scrub_interval`` until a full sweep comes back clean.  Ticks that
+    #: land while foreground I/O (flush/replication) is in flight are
+    #: deferred to the next tick (telemetry counter ``scrub-deferred``).
+    #: 0 keeps scrubbing purely event-driven (crash/explicit only).
+    scrub_interval: float = 0.0
+    #: Per-pass byte budget for periodic scrubbing (0 = unlimited): a
+    #: pass stops verifying once it has scanned this much and resumes
+    #: from its session cursor on the next tick, bounding the background
+    #: bandwidth one tick may consume.
+    scrub_rate_limit: float = 0.0
     #: Metadata fast path (docs/MODEL.md §9) — batched, coalescing
     #: metadata inserts: one aggregated insert per server per collective
     #: write, with contiguous records merged before the journal append.
@@ -144,6 +171,7 @@ class UniviStorConfig:
         kw.setdefault("health_enabled", True)
         kw.setdefault("recovery_enabled", True)
         kw.setdefault("scrub_enabled", True)
+        kw.setdefault("meta_quorum", True)
         return UniviStorConfig(**kw)
 
     def __post_init__(self):
@@ -169,6 +197,12 @@ class UniviStorConfig:
             raise ValueError("dead_heartbeats must be >= suspect_heartbeats")
         if self.journal_checkpoint < 0:
             raise ValueError("journal_checkpoint must be >= 0")
+        if self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if self.scrub_interval < 0:
+            raise ValueError("scrub_interval must be >= 0")
+        if self.scrub_rate_limit < 0:
+            raise ValueError("scrub_rate_limit must be >= 0")
         if StorageTier.PFS in self.cache_tiers:
             raise ValueError("PFS is the implicit destination tier; "
                              "do not list it in cache_tiers")
@@ -213,7 +247,7 @@ class UniviStorConfig:
                  "workflow_enabled", "flush_enabled",
                  "resilience_enabled", "adaptive_placement",
                  "health_enabled", "recovery_enabled", "scrub_enabled",
-                 "meta_batch", "location_cache"}
+                 "meta_batch", "location_cache", "meta_quorum"}
         changes = {}
         for flag in flags:
             if flag not in valid:

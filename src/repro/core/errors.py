@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-__all__ = ["DataLossError"]
+__all__ = ["DataLossError", "QuorumLostError"]
 
 
 class DataLossError(RuntimeError):
@@ -41,3 +41,24 @@ class DataLossError(RuntimeError):
         self.node = node
         self.offset = offset
         self.length = length
+
+
+class QuorumLostError(DataLossError):
+    """A metadata range cannot assemble a quorum of reachable replicas.
+
+    Distinct from :class:`~repro.core.metadata.MetadataUnavailableError`
+    (every copy *dead* — the records are gone): here at least one replica
+    may still be alive but partitioned away or known-stale, so the honest
+    answer is "unavailable right now", not "lost".  Subclasses
+    :class:`DataLossError` so the durability invariant's single except
+    clause still covers it; the extra fields say what quorum was missed.
+    """
+
+    def __init__(self, message: str, *, range_index: Optional[int] = None,
+                 acked: Optional[int] = None, needed: Optional[int] = None,
+                 fid: Optional[int] = None, offset: Optional[int] = None,
+                 length: Optional[int] = None):
+        super().__init__(message, fid=fid, offset=offset, length=length)
+        self.range_index = range_index
+        self.acked = acked
+        self.needed = needed

@@ -28,12 +28,16 @@ is currently reading.
 
 from __future__ import annotations
 
-from typing import Callable, List, Set, Tuple
+from typing import Callable, Dict, List, Set, Tuple
 
 __all__ = ["HealthMonitor"]
 
-#: Lifecycle states a monitored target moves through.
-ALIVE, SUSPECT, DEAD = "alive", "suspect", "dead"
+#: Lifecycle states a monitored target moves through.  ``FENCED`` is the
+#: partition-specific terminal-ish state: the server is believed alive but
+#: its ownership lease expired while it was unreachable, so takeover may
+#: proceed; a later heal returns it to ``ALIVE`` (its fenced ranges stay
+#: fenced in the metadata service until rebuilt).
+ALIVE, SUSPECT, DEAD, FENCED = "alive", "suspect", "dead", "fenced"
 
 
 class HealthMonitor:
@@ -51,13 +55,23 @@ class HealthMonitor:
         self.suspect_delay = (config.heartbeat_interval
                               * config.suspect_heartbeats)
         self.dead_delay = config.heartbeat_interval * config.dead_heartbeats
+        self.lease_ttl = config.lease_ttl
         #: Fired as ``fn(node_id)`` / ``fn(server_id)`` when a target is
         #: declared dead.  RecoveryService registers here.
         self.on_node_dead: List[Callable[[int], None]] = []
         self.on_server_dead: List[Callable[[int], None]] = []
+        #: Fired as ``fn(server_id)`` when a partitioned server's lease
+        #: expires: still alive, but takeover of its ranges is now safe.
+        self.on_server_fenced: List[Callable[[int], None]] = []
         # ("node"|"server", id) -> lifecycle state
         self._states: dict = {}
         self._noted: Set[Tuple[str, int]] = set()
+        # Partition tracking: currently-unreachable servers, plus a
+        # generation counter per server so a heal logically cancels the
+        # pending suspect/fence timers (timers from an old generation
+        # no-op when they fire).
+        self._partitioned: Set[int] = set()
+        self._partition_gen: Dict[int, int] = {}
 
     def state_of(self, kind: str, target: int) -> str:
         """Current lifecycle state of ``("node"|"server", id)``."""
@@ -82,6 +96,66 @@ class HealthMonitor:
                                lambda _ev: self._mark_suspect(kind, target))
         self.engine.call_later(self.dead_delay,
                                lambda _ev: self._mark_dead(kind, target))
+
+    # -- partition notifications -------------------------------------------
+    def note_server_partition(self, server_id: int) -> None:
+        """A live server's heartbeats stopped arriving because the link
+        is cut, not because it crashed.
+
+        Partitioned-but-alive is *not* dead: the suspect timer arms as
+        usual (the detector cannot tell the difference yet) but no dead
+        declaration follows.  Instead the server's ownership **lease** —
+        last renewed by its final heartbeat before the cut — expires
+        ``lease_ttl`` after the partition starts; only then is it fenced
+        and takeover of its ranges sanctioned.  A heal before expiry
+        cancels both timers: no premature takeover on a transient cut.
+        """
+        if server_id in self._partitioned:
+            return
+        self._partitioned.add(server_id)
+        gen = self._partition_gen.get(server_id, 0) + 1
+        self._partition_gen[server_id] = gen
+        self.engine.call_later(
+            self.suspect_delay,
+            lambda _ev: self._partition_suspect(server_id, gen))
+        self.engine.call_later(
+            self.lease_ttl,
+            lambda _ev: self._partition_fence(server_id, gen))
+
+    def note_server_heal(self, server_id: int) -> None:
+        """The partition around ``server_id`` healed: cancel pending
+        suspicion/fencing and return a suspect or fenced server to
+        ``ALIVE`` (a dead one stays dead — crashing while partitioned is
+        still crashing)."""
+        if server_id not in self._partitioned:
+            return
+        self._partitioned.discard(server_id)
+        self._partition_gen[server_id] = (
+            self._partition_gen.get(server_id, 0) + 1)
+        key = ("server", server_id)
+        if self._states.get(key) in (SUSPECT, FENCED):
+            del self._states[key]
+            self.system.telemetry_hook("health-recovered",
+                                       f"server:{server_id}", 0.0)
+
+    def _partition_suspect(self, server_id: int, gen: int) -> None:
+        if (self._partition_gen.get(server_id) != gen
+                or server_id not in self._partitioned):
+            return
+        self._mark_suspect("server", server_id)
+
+    def _partition_fence(self, server_id: int, gen: int) -> None:
+        if (self._partition_gen.get(server_id) != gen
+                or server_id not in self._partitioned):
+            return
+        key = ("server", server_id)
+        if self._states.get(key) == DEAD:
+            return  # it crashed while partitioned; death handling won
+        self._states[key] = FENCED
+        self.system.telemetry_hook("health-fenced",
+                                   f"server:{server_id}", 0.0)
+        for fn in self.on_server_fenced:
+            fn(server_id)
 
     # -- state transitions -------------------------------------------------
     def _mark_suspect(self, kind: str, target: int) -> None:

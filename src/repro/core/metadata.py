@@ -46,10 +46,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.config import StorageTier
-from repro.core.errors import DataLossError
+from repro.core.errors import DataLossError, QuorumLostError
 
 __all__ = ["MetadataRecord", "MetadataService", "MetadataUnavailableError",
-           "coalesce_records", "split_record", "apply_insert"]
+           "QuorumLostError", "coalesce_records", "split_record",
+           "apply_insert"]
 
 
 class MetadataUnavailableError(DataLossError):
@@ -212,7 +213,8 @@ class MetadataService:
 
     def __init__(self, n_servers: int, range_size: float,
                  replication: int = 1, replica_stride: int = 1,
-                 compaction: bool = True, checkpoint_threshold: int = 0):
+                 compaction: bool = True, checkpoint_threshold: int = 0,
+                 quorum: bool = False):
         if n_servers < 1:
             raise ValueError(f"need at least one server, got {n_servers}")
         if range_size <= 0:
@@ -244,8 +246,26 @@ class MetadataService:
         #: Observer called as ``on_checkpoint(range_index, truncated)``
         #: after a journal truncation (telemetry counter wiring).
         self.on_checkpoint: Optional[Callable[[int, int], None]] = None
+        #: Majority-quorum mode (CAP-complete failure model): writes need
+        #: a majority of the replica set, reads repair lagging copies
+        #: instead of skipping past them silently.
+        self.quorum = quorum
         #: Servers whose partition is lost (crash injection).
         self.failed_servers: Set[int] = set()
+        #: Servers that are alive but cut off by a network partition —
+        #: requests to them are lost, so they can neither ack writes nor
+        #: serve reads until the partition heals.
+        self.unreachable_servers: Set[int] = set()
+        #: Quorum/fencing observability (host-side only).
+        self.read_repairs = 0
+        self.fence_rejections = 0
+        #: Observer called as ``on_read_repair(range_index, server)`` when
+        #: a read brings a lagging replica current (telemetry wiring).
+        self.on_read_repair: Optional[Callable[[int, int], None]] = None
+        #: Observer called as ``on_fence_reject(range_index, server)``
+        #: when a stale (fenced / lagging) copy is refused as a read or
+        #: write target.
+        self.on_fence_reject: Optional[Callable[[int, int], None]] = None
         #: Observer called as ``on_failover(range_index, server)`` when a
         #: read is served by a non-primary replica (telemetry wiring).
         self.on_failover: Optional[Callable[[int, int], None]] = None
@@ -266,6 +286,16 @@ class MetadataService:
         # entries use the computed round-robin set, so the healthy-cluster
         # routing (and its cost accounting) is bit-identical to before.
         self._range_replicas: Dict[int, List[int]] = {}
+        # Lease epoch per range (absent -> 0).  Bumped whenever ownership
+        # is rewritten by a takeover; a copy written under an older epoch
+        # is fenced until rebuilt.
+        self._range_epoch: Dict[int, int] = {}
+        # range -> servers holding a stale copy: members that missed a
+        # quorum write while unreachable (lagging) or whose lease epoch
+        # was superseded by a takeover (fenced).  Stale copies never
+        # serve reads, never ack writes, and are invisible to
+        # :meth:`records_of` until rebuilt from the journal.
+        self._stale: Dict[int, Set[int]] = {}
 
     @property
     def record_count(self) -> int:
@@ -297,25 +327,58 @@ class MetadataService:
         return out
 
     def read_server_of(self, range_index: int) -> int:
-        """First live replica of a range — the server a client reads from.
+        """First live, reachable, *current* replica of a range — the
+        server a client reads from.
 
-        Raises :class:`MetadataUnavailableError` when the whole replica
-        set is dead; fires :attr:`on_failover` when the primary is not
-        the one answering.
+        A fenced or lagging copy never answers: with quorum mode a
+        reachable one is **read-repaired** (journal replay) before
+        selection, without it the copy is skipped.  Raises
+        :class:`MetadataUnavailableError` when the whole replica set is
+        dead, :class:`QuorumLostError` when live copies exist but none
+        is reachable and current; fires :attr:`on_failover` when the
+        primary is not the one answering.
         """
-        if self.replication == 1 and not self.failed_servers:
+        if (self.replication == 1 and not self.failed_servers
+                and not self.unreachable_servers and not self._stale):
             # Fast path: unreplicated healthy cluster — the primary *is*
             # the replica set, no list to build.
             return range_index % self.n_servers
+        stale = self._stale.get(range_index)
+        if stale and self.quorum:
+            # Read-repair: bring every reachable lagging copy current
+            # from the journal before picking who answers.
+            for server in sorted(stale):
+                if (server not in self.failed_servers
+                        and server not in self.unreachable_servers):
+                    self._rebuild_copy(range_index, server)
+                    self.read_repairs += 1
+                    if self.on_read_repair is not None:
+                        self.on_read_repair(range_index, server)
+            stale = self._stale.get(range_index)
         replicas = self.replica_servers(range_index)
         for server in replicas:
-            if server not in self.failed_servers:
-                if server != replicas[0] and self.on_failover is not None:
-                    self.on_failover(range_index, server)
-                return server
-        raise MetadataUnavailableError(
-            f"metadata range {range_index} lost: all replicas "
-            f"{replicas} have failed")
+            if (server in self.failed_servers
+                    or server in self.unreachable_servers):
+                continue
+            if stale and server in stale:
+                # Fenced copy without quorum read-repair: it must not
+                # answer — its records may predate the current epoch.
+                self.fence_rejections += 1
+                if self.on_fence_reject is not None:
+                    self.on_fence_reject(range_index, server)
+                continue
+            if server != replicas[0] and self.on_failover is not None:
+                self.on_failover(range_index, server)
+            return server
+        if all(s in self.failed_servers for s in replicas):
+            raise MetadataUnavailableError(
+                f"metadata range {range_index} lost: all replicas "
+                f"{replicas} have failed")
+        raise QuorumLostError(
+            f"metadata range {range_index} unavailable: no reachable "
+            f"current replica in {replicas} (partitioned or fenced)",
+            range_index=range_index, acked=0,
+            needed=(len(replicas) // 2 + 1) if self.quorum else 1)
 
     def fail_server(self, server: int) -> None:
         """A server process dies: its partition (all copies it held) is
@@ -324,6 +387,28 @@ class MetadataService:
             raise ValueError(f"no server {server}")
         self.failed_servers.add(server)
         self._stores[server].clear()
+
+    def set_unreachable(self, server: int) -> None:
+        """A live server is cut off by a network partition: it can
+        neither ack writes nor serve reads until the link heals."""
+        if not 0 <= server < self.n_servers:
+            raise ValueError(f"no server {server}")
+        self.unreachable_servers.add(server)
+
+    def set_reachable(self, server: int) -> None:
+        """The partition healed for ``server``.  Copies that lagged or
+        were fenced while it was away stay stale until read-repaired or
+        rebuilt by a takeover — reachability is not currency."""
+        self.unreachable_servers.discard(server)
+
+    def range_epoch(self, range_index: int) -> int:
+        """Current lease epoch of a range (0 until a takeover rewrites
+        its ownership)."""
+        return self._range_epoch.get(range_index, 0)
+
+    def stale_members(self, range_index: int) -> Set[int]:
+        """Servers holding a fenced or lagging copy of the range."""
+        return set(self._stale.get(range_index, ()))
 
     def servers_for_range(self, offset: int, length: int) -> Set[int]:
         """All servers owning part of [offset, offset+length)."""
@@ -339,29 +424,88 @@ class MetadataService:
         return split_record(record, self.range_size)
 
     # -- mutation ----------------------------------------------------------
+    def _write_ackers(self, range_index: int) -> List[int]:
+        """Replica-set members that can ack a write to the range: alive,
+        reachable, and current (not fenced).
+
+        With quorum mode the write is rejected
+        (:class:`QuorumLostError`) unless a strict majority of the
+        *full* replica set can ack — the minority side of a partition
+        must not apply a write the majority side could contradict after
+        a takeover.  Without quorum any single acker suffices (the
+        original any-replica-alive semantics), but a range whose live
+        copies are all partitioned away still raises: there is nobody to
+        apply the write to.
+        """
+        replicas = self.replica_servers(range_index)
+        if not (self.unreachable_servers or self._stale):
+            ackers = [s for s in replicas if s not in self.failed_servers]
+        else:
+            stale = self._stale.get(range_index, ())
+            ackers = [s for s in replicas
+                      if s not in self.failed_servers
+                      and s not in self.unreachable_servers
+                      and s not in stale]
+        if not ackers:
+            if all(s in self.failed_servers for s in replicas):
+                raise MetadataUnavailableError(
+                    f"metadata range {range_index} lost: all replicas "
+                    f"{replicas} have failed")
+            raise QuorumLostError(
+                f"metadata range {range_index} unavailable: no reachable "
+                f"current replica in {replicas}",
+                range_index=range_index, acked=0,
+                needed=(len(replicas) // 2 + 1) if self.quorum else 1)
+        if self.quorum:
+            needed = len(replicas) // 2 + 1
+            if len(ackers) < needed:
+                raise QuorumLostError(
+                    f"metadata range {range_index}: only {len(ackers)} of "
+                    f"{len(replicas)} replicas can ack, majority {needed} "
+                    f"required", range_index=range_index,
+                    acked=len(ackers), needed=needed)
+        return ackers
+
+    def _mark_missed(self, range_index: int, ackers: List[int]) -> None:
+        """Fence every live member that missed an accepted write: a
+        lagging copy must not serve reads or ack writes until rebuilt
+        from the journal (read-repair or takeover)."""
+        replicas = self.replica_servers(range_index)
+        if len(ackers) == len(replicas):
+            return
+        for server in replicas:
+            if server in ackers or server in self.failed_servers:
+                continue
+            self._stale.setdefault(range_index, set()).add(server)
+
     def insert(self, record: MetadataRecord) -> Set[int]:
         """Insert (overwriting overlaps); returns servers contacted.
 
-        With replication every live replica of the piece's range receives
-        a copy; a range whose whole replica set is dead rejects the write.
-        Accepted pieces are appended to the range's write-ahead journal
-        (after the liveness check: a rejected write must not be
-        resurrected by a later takeover replay).
+        With replication every ackable replica of the piece's range
+        receives a copy; a range whose whole replica set is dead rejects
+        the write, and quorum mode additionally rejects writes a
+        majority cannot ack (:meth:`_write_ackers`).  Accepted pieces
+        are appended to the range's write-ahead journal (after the
+        acceptance check: a rejected write must not be resurrected by a
+        later takeover replay); live members that missed the write are
+        fenced as stale.
         """
         touched: Set[int] = set()
         for piece in self._split_by_range(record):
             range_index = int(piece.offset // self.range_size)
-            alive = [s for s in self.replica_servers(range_index)
-                     if s not in self.failed_servers]
-            if not alive:
-                raise MetadataUnavailableError(
-                    f"metadata range {range_index} lost: all replicas "
-                    f"{self.replica_servers(range_index)} have failed",
-                    fid=piece.fid, offset=piece.offset, length=piece.length)
+            try:
+                ackers = self._write_ackers(range_index)
+            except DataLossError as err:
+                err.fid = piece.fid
+                err.offset = piece.offset
+                err.length = piece.length
+                raise
             self._journal.setdefault(range_index, []).append(piece)
-            for server in alive:
+            for server in ackers:
                 touched.add(server)
                 self._insert_piece(server, piece)
+            if self.unreachable_servers or self._stale:
+                self._mark_missed(range_index, ackers)
             self._maybe_checkpoint(range_index)
         return touched
 
@@ -397,30 +541,44 @@ class MetadataService:
             stats["coalesced"] = stats.get("coalesced", 0) + merges
             stats["batches"] = stats.get("batches", 0) + len(per_range)
             stats["pieces"] = stats.get("pieces", 0) + n_pieces
-        alive_by_range: Dict[int, List[int]] = {}
+        ackers_by_range: Dict[int, List[int]] = {}
         for range_index in per_range:
-            alive = [s for s in self.replica_servers(range_index)
-                     if s not in self.failed_servers]
-            if not alive:
-                # Legacy semantics under range loss: apply sequentially
-                # until the dead range rejects the write.
+            try:
+                ackers_by_range[range_index] = self._write_ackers(range_index)
+            except DataLossError:
+                # Legacy semantics under range loss (and quorum loss):
+                # apply sequentially until the failing range rejects the
+                # write, preserving the partial-apply the unbatched loop
+                # produced bit-for-bit.
                 touched = set()
                 for record in records:
                     touched |= self.insert(record)
                 return touched
-            alive_by_range[range_index] = alive
         touched = set()
         for range_index, pieces in per_range.items():
             self._journal.setdefault(range_index, []).extend(pieces)
-            for server in alive_by_range[range_index]:
+            ackers = ackers_by_range[range_index]
+            for server in ackers:
                 touched.add(server)
                 insert = self._insert_piece
                 for piece in pieces:
                     insert(server, piece)
+            if self.unreachable_servers or self._stale:
+                self._mark_missed(range_index, ackers)
             self._maybe_checkpoint(range_index)
         return touched
 
     def _insert_piece(self, server: int, piece: MetadataRecord) -> None:
+        if self._stale:
+            # Fencing enforcement point: a stale-epoch copy refuses the
+            # write even if some path routes one here — the rebuilt
+            # journal replay is the only way back to currency.
+            range_index = int(piece.offset // self.range_size)
+            if server in self._stale.get(range_index, ()):
+                self.fence_rejections += 1
+                if self.on_fence_reject is not None:
+                    self.on_fence_reject(range_index, server)
+                return
         self._insert_into(self._stores[server], piece)
 
     def _insert_into(self,
@@ -480,8 +638,11 @@ class MetadataService:
         journal = self._journal.get(range_index)
         if not journal or len(journal) < threshold:
             return
+        stale = self._stale.get(range_index, ())
         for server in self.replica_servers(range_index):
-            if server in self.failed_servers:
+            if (server in self.failed_servers
+                    or server in self.unreachable_servers
+                    or server in stale):
                 return
         scratch: Dict[int, Tuple[List[int], List[MetadataRecord]]] = {}
         for piece in self._checkpoints.get(range_index, ()):
@@ -547,33 +708,81 @@ class MetadataService:
         Returns ``(range_index, new_primary)`` for every range whose
         assignment changed.  Idempotent: a second call for the same death
         finds the rewritten sets already free of failed members.
+
+        ``dead`` may also be a *fenced* server (lease expired while
+        partitioned): it is excluded the same way, and — being alive —
+        is marked stale on every range it loses, so a healed partition
+        finds its old lease superseded rather than a range it can still
+        serve.  Every ownership rewrite bumps the range's lease epoch.
         """
         if not 0 <= dead < self.n_servers:
             raise ValueError(f"no server {dead}")
+        excluded = self.failed_servers | self.unreachable_servers
         actions: List[Tuple[int, int]] = []
         for range_index in sorted(self._journal.keys()
                                   | self._checkpoints.keys()):
             candidates = self.replica_servers(range_index)
             if dead not in candidates:
                 continue
-            alive = [s for s in candidates if s not in self.failed_servers]
-            need = self.replication - len(alive)
+            stale = self._stale.get(range_index, ())
+            current = [s for s in candidates
+                       if s not in excluded and s not in stale]
+            need = self.replication - len(current)
             spares: List[int] = []
             for k in range(self.n_servers):
                 if len(spares) >= need:
                     break
                 server = (range_index + k) % self.n_servers
-                if server in self.failed_servers or server in alive:
+                if server in excluded or server in current:
                     continue
                 spares.append(server)
             for server in spares:
-                self._replay(range_index, server)
-            new_set = alive + spares
+                self._rebuild_copy(range_index, server)
+            new_set = current + spares
             if not new_set:
                 continue  # whole cluster down for this range: stays lost
+            if new_set != candidates:
+                # Ownership rewritten: new lease epoch, and every live
+                # ex-member is fenced out of its old one.
+                self._range_epoch[range_index] = (
+                    self._range_epoch.get(range_index, 0) + 1)
+                for server in candidates:
+                    if (server not in new_set
+                            and server not in self.failed_servers):
+                        self._stale.setdefault(range_index, set()).add(server)
             self._range_replicas[range_index] = new_set
             actions.append((range_index, new_set[0]))
         return actions
+
+    def _rebuild_copy(self, range_index: int, server: int) -> None:
+        """Bring a spare or stale copy current: clear the fence, drop
+        whatever the server holds for the range, and replay the journal
+        — the full accepted history, missed writes included."""
+        members = self._stale.get(range_index)
+        if members is not None:
+            members.discard(server)
+            if not members:
+                del self._stale[range_index]
+        self._drop_range(server, range_index)
+        self._replay(range_index, server)
+
+    def _drop_range(self, server: int, range_index: int) -> None:
+        """Discard every record the server holds inside one range
+        (inserts split at range boundaries, so records never straddle)."""
+        store = self._stores[server]
+        lo = int(range_index * self.range_size)
+        hi = int((range_index + 1) * self.range_size)
+        for fid in list(store):
+            _starts, recs = store[fid]
+            if not recs or recs[-1].end <= lo or recs[0].offset >= hi:
+                continue
+            keep = [r for r in recs if r.end <= lo or r.offset >= hi]
+            if len(keep) == len(recs):
+                continue
+            if keep:
+                store[fid] = ([r.offset for r in keep], keep)
+            else:
+                del store[fid]
 
     def _replay(self, range_index: int, server: int) -> None:
         """Rebuild one range's partition on ``server``: checkpoint first,
@@ -602,16 +811,15 @@ class MetadataService:
         first = int(offset // self.range_size)
         last = int((end - 1) // self.range_size)
         for range_index in range(first, last + 1):
-            alive = [s for s in self.replica_servers(range_index)
-                     if s not in self.failed_servers]
-            if not alive:
-                sub_lo = max(offset, int(range_index * self.range_size))
-                sub_hi = min(end, int((range_index + 1) * self.range_size))
-                raise MetadataUnavailableError(
-                    f"metadata range {range_index} lost: all replicas "
-                    f"{self.replica_servers(range_index)} have failed",
-                    fid=fid, offset=sub_lo, length=sub_hi - sub_lo)
-            touched.update(alive)
+            try:
+                touched.update(self._write_ackers(range_index))
+            except DataLossError as err:
+                err.fid = fid
+                err.offset = max(offset, int(range_index * self.range_size))
+                err.length = (min(end, int((range_index + 1)
+                                           * self.range_size))
+                              - err.offset)
+                raise
         return touched
 
     def read_servers_for(self, fid: int, offset: int,
@@ -633,7 +841,7 @@ class MetadataService:
         for range_index in range(first, last + 1):
             try:
                 touched.add(self.read_server_of(range_index))
-            except MetadataUnavailableError as err:
+            except (MetadataUnavailableError, QuorumLostError) as err:
                 err.fid = fid
                 err.offset = max(offset, int(range_index * self.range_size))
                 err.length = (min(end, int((range_index + 1)
@@ -665,7 +873,7 @@ class MetadataService:
             sub_hi = min(end, int((range_index + 1) * self.range_size))
             try:
                 server = self.read_server_of(range_index)
-            except MetadataUnavailableError as err:
+            except (MetadataUnavailableError, QuorumLostError) as err:
                 # Range-level detection, request-level reporting: attach
                 # what the caller was actually asking for.
                 err.fid = fid
@@ -706,15 +914,30 @@ class MetadataService:
         Replicated pieces are identical frozen records, so surviving
         copies collapse in the dedup; ranges whose whole replica set died
         are simply absent (the flush path surfaces those through the
-        per-record loss checks instead).
+        per-record loss checks instead).  Unreachable servers cannot
+        answer, and fenced copies are invisible: a flush or scrub pass
+        must never act on records a stale-epoch ex-owner holds.
         """
         seen: Set[MetadataRecord] = set()
+        stale = self._stale
         for server, store in enumerate(self._stores):
-            if server in self.failed_servers:
+            if (server in self.failed_servers
+                    or server in self.unreachable_servers):
                 continue
             entry = store.get(fid)
-            if entry:
+            if not entry:
+                continue
+            if not stale:
                 seen.update(entry[1])
+                continue
+            fenced = {ri for ri, members in stale.items()
+                      if server in members}
+            if not fenced:
+                seen.update(entry[1])
+            else:
+                range_size = self.range_size
+                seen.update(r for r in entry[1]
+                            if int(r.offset // range_size) not in fenced)
         return sorted(seen, key=lambda r: (r.offset, r.proc_id))
 
     def server_record_counts(self) -> List[int]:

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Generator, List
 
 from repro.core.config import StorageTier
-from repro.core.metadata import MetadataRecord
+from repro.core.metadata import (MetadataRecord, MetadataUnavailableError,
+                                 QuorumLostError)
 from repro.simmpi.comm import Communicator
 from repro.simmpi.mpiio import IORequest
 from repro.storage.datamodel import CorruptPayload, Extent, ZeroPayload
@@ -140,6 +141,32 @@ class ReadService:
             fid=record.fid, rank=record.proc_id, node=record.node_id,
             offset=record.offset, length=record.length)
 
+    def _pfs_namespace_extents(self, session, req):
+        """Serve one request straight from the flushed PFS file, or
+        return None when the fallback is not safe.
+
+        Safe only when nothing newer sits unflushed in the cache (the
+        same staleness guard as :meth:`resolve_degraded` — a post-flush
+        overwrite makes the PFS copy stale and the honest answer is the
+        metadata error) and every byte of the span reads back as real
+        flushed data, not holes or rot.
+        """
+        pfs = self.machine.pfs_files
+        if (session.flushed_bytes < session.cached_bytes_written
+                or not pfs.exists(session.path)):
+            return None
+        extents = pfs.open(session.path).read_at(req.offset, req.length)
+        good = sum(e.length for e in extents
+                   if not isinstance(e.payload,
+                                     (ZeroPayload, CorruptPayload)))
+        if good < req.length:
+            return None
+        self.system.telemetry_hook(
+            "pfs-namespace-fallback",
+            f"{session.path}:[{req.offset},+{req.length})",
+            float(req.length))
+        return sorted(extents, key=lambda e: e.offset)
+
     # -- the collective read ----------------------------------------------------
     def read_collective(self, session, comm: Communicator,
                         requests: List[IORequest], program: str
@@ -168,17 +195,32 @@ class ReadService:
             # identical failover telemetry and raises the identical
             # unavailability errors), so timing is unchanged — only the
             # server-side store search is skipped.
-            records = (cache.lookup(session.fid, req.offset, req.length)
-                       if cache is not None else None)
-            if records is not None:
-                servers = metadata.read_servers_for(session.fid, req.offset,
-                                                    req.length)
-                count("cache-hit")
-            else:
-                if cache is not None:
-                    count("cache-miss")
-                records, servers = metadata.lookup(session.fid, req.offset,
-                                                   req.length)
+            try:
+                records = (cache.lookup(session.fid, req.offset, req.length)
+                           if cache is not None else None)
+                if records is not None:
+                    servers = metadata.read_servers_for(session.fid,
+                                                        req.offset,
+                                                        req.length)
+                    count("cache-hit")
+                else:
+                    if cache is not None:
+                        count("cache-miss")
+                    records, servers = metadata.lookup(session.fid,
+                                                       req.offset,
+                                                       req.length)
+            except (MetadataUnavailableError, QuorumLostError):
+                # PFS namespace fallback: the range's metadata is lost or
+                # quorum-unreachable, but if every cached byte has been
+                # flushed the PFS file is itself an authoritative
+                # offset-addressed namespace — serve the span from it.
+                extents = self._pfs_namespace_extents(session, req)
+                if extents is None:
+                    raise
+                breakdown.pfs_bytes += req.length
+                breakdown.pfs_ranks.add(req.rank)
+                results[req.rank] = extents
+                continue
             for s in servers:
                 lookups_per_server[s] = lookups_per_server.get(s, 0) + 1
             covered = sum(r.length for r in records)

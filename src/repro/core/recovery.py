@@ -28,7 +28,7 @@ journal replay and scrub scans by throughput-derived timeouts.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.core.errors import DataLossError
 from repro.core.metadata import MetadataRecord
@@ -42,6 +42,10 @@ _JOURNAL_RECORD_BYTES = 64.0
 #: Nominal scrub scan throughput per pass (checksum-verify is sequential
 #: streaming I/O; one server's worth so passes stay background-cheap).
 _SCRUB_BANDWIDTH = 4.0 * GiB
+#: Records streamed between replay-cursor persists: the granularity at
+#: which a crash of the *new* owner mid-takeover can resume instead of
+#: replaying the whole journal from scratch.
+_REPLAY_CHUNK = 32
 
 
 class RecoveryService:
@@ -53,13 +57,31 @@ class RecoveryService:
         self.engine = system.engine
         #: ``(range_index, new_primary)`` takeovers performed, for tests.
         self.takeovers: List[Tuple[int, int]] = []
+        #: Persisted replay cursor: range -> journal records the timed
+        #: replay has already streamed.  Survives a crash of the new
+        #: owner mid-takeover, so the next takeover of the same range
+        #: resumes from the cursor instead of streaming from scratch.
+        self.replay_cursor: Dict[int, int] = {}
         health = getattr(system, "health", None)
         if health is not None:
             health.on_server_dead.append(self.handle_server_dead)
             health.on_node_dead.append(self.handle_node_dead)
+            health.on_server_fenced.append(self.handle_server_fenced)
 
     # -- server death: metadata range takeover ----------------------------
     def handle_server_dead(self, server_id: int) -> None:
+        self._takeover(server_id)
+
+    def handle_server_fenced(self, server_id: int) -> None:
+        """A partitioned server's lease expired: it is alive but no
+        longer an owner.  Takeover proceeds exactly as for a death —
+        :meth:`MetadataService.recover_server` fences the live ex-member
+        out of every range it loses."""
+        self.system.telemetry_hook("lease-expired", f"server:{server_id}",
+                                   0.0)
+        self._takeover(server_id)
+
+    def _takeover(self, server_id: int) -> None:
         metadata = self.system.metadata
         actions = metadata.recover_server(server_id)
         if not actions:
@@ -73,26 +95,62 @@ class RecoveryService:
             dropped = cache.clear()
             if dropped:
                 self.system.count("cache-invalidate", dropped)
-        replayed = 0
+        jobs: List[Tuple[int, int, int]] = []
         for range_index, new_primary in actions:
-            replayed += len(metadata.journal_records(range_index))
+            total = len(metadata.journal_records(range_index))
+            done = min(self.replay_cursor.get(range_index, 0), total)
             self.takeovers.append((range_index, new_primary))
             self.system.telemetry_hook(
                 "recovery-takeover",
                 f"range:{range_index}->server:{new_primary}", 0.0)
-        if replayed:
-            self.engine.process(self._replay_cost(server_id, replayed),
+            if done > 0:
+                self.system.telemetry_hook(
+                    "recovery-replay-resume",
+                    f"range:{range_index}@{done}/{total}", 0.0)
+            if total > done:
+                jobs.append((range_index, new_primary, total))
+            else:
+                self.replay_cursor.pop(range_index, None)
+        if jobs:
+            self.engine.process(self._replay_cost(server_id, jobs),
                                 name=f"journal-replay:server{server_id}")
 
-    def _replay_cost(self, server_id: int, records: int) -> Generator:
-        """Timed journal replay: the new owners stream the dead server's
-        journal segments off shared storage and re-insert the records."""
+    def _replay_cost(self, server_id: int,
+                     jobs: List[Tuple[int, int, int]]) -> Generator:
+        """Timed journal replay: the new owners stream the lost server's
+        journal segments off shared storage and re-insert the records.
+
+        Streamed in :data:`_REPLAY_CHUNK`-record chunks with the cursor
+        persisted after each one; if the new primary itself dies (or is
+        partitioned away) mid-replay the job aborts at the cursor and
+        the *next* takeover of the range resumes there.
+        """
         t_start = self.engine.now
-        nbytes = records * _JOURNAL_RECORD_BYTES
-        yield self.engine.timeout(nbytes / _SCRUB_BANDWIDTH
-                                  + records * 1e-6)
+        metadata = self.system.metadata
+        streamed = 0.0
+        for range_index, new_primary, total in jobs:
+            done = min(self.replay_cursor.get(range_index, 0), total)
+            aborted = False
+            while done < total:
+                if (new_primary in metadata.failed_servers
+                        or new_primary in metadata.unreachable_servers):
+                    self.replay_cursor[range_index] = done
+                    self.system.telemetry_hook(
+                        "recovery-replay-aborted",
+                        f"range:{range_index}@{done}/{total}", 0.0)
+                    aborted = True
+                    break
+                chunk = min(_REPLAY_CHUNK, total - done)
+                nbytes = chunk * _JOURNAL_RECORD_BYTES
+                yield self.engine.timeout(nbytes / _SCRUB_BANDWIDTH
+                                          + chunk * 1e-6)
+                done += chunk
+                self.replay_cursor[range_index] = done
+                streamed += nbytes
+            if not aborted:
+                self.replay_cursor.pop(range_index, None)
         self.system.telemetry_hook("recovery-replay",
-                                   f"server:{server_id}", nbytes,
+                                   f"server:{server_id}", streamed,
                                    t_start=t_start)
 
     # -- node death: close the replication window -------------------------
@@ -112,10 +170,17 @@ class ScrubService:
         self.system = system
         self.engine = system.engine
         self._event: Optional[Event] = None
+        self._periodic: Optional[Event] = None
+        #: Session-granular resume cursor for rate-limited passes: the
+        #: next session path a budgeted pass should start from (None =
+        #: start of the namespace, i.e. the sweep is complete).
+        self._cursor_path: Optional[str] = None
         #: Pass statistics (cumulative, for tests/reporting).
         self.verified_bytes = 0.0
         self.repaired_bytes = 0.0
         self.lost_bytes = 0.0
+        #: Ticks skipped because foreground I/O was in flight.
+        self.deferred = 0
 
     # -- public API --------------------------------------------------------
     def start_scrub(self) -> Event:
@@ -127,16 +192,81 @@ class ScrubService:
         self._event = proc
         return proc
 
+    def start_periodic(self) -> Optional[Event]:
+        """Proactive scrubbing: repeat rate-limited passes every
+        ``scrub_interval`` seconds until a full sweep comes back clean.
+
+        Ticks that land while foreground I/O (flush or replication) is
+        in flight are deferred to the next tick (``scrub-deferred``
+        counter) — scrubbing is a background citizen.  Each pass scans
+        at most ``scrub_rate_limit`` bytes (0 = unlimited) and resumes
+        from the session cursor where the previous tick stopped.
+        Terminates — the engine drains to quiescence — once a complete
+        sweep repairs nothing.
+        """
+        if self.system.config.scrub_interval <= 0:
+            return None
+        outstanding = self._periodic
+        if outstanding is not None and not outstanding.triggered:
+            return outstanding
+        proc = self.engine.process(self._periodic_loop(),
+                                   name="scrub-periodic")
+        self._periodic = proc
+        return proc
+
     def wait(self) -> Generator:
         if self._event is not None and not self._event.processed:
             yield self._event
 
+    # -- the periodic loop -------------------------------------------------
+    def _foreground_busy(self) -> bool:
+        system = self.system
+        for session in system._sessions.values():
+            ev = getattr(session, "flush_event", None)
+            if ev is not None and not ev.triggered:
+                return True
+        resilience = getattr(system, "resilience", None)
+        if resilience is not None:
+            for ev in resilience._events.values():
+                if not ev.triggered:
+                    return True
+        return False
+
+    def _periodic_loop(self) -> Generator:
+        config = self.system.config
+        sweep_repaired = 0.0
+        while True:
+            yield self.engine.timeout(config.scrub_interval)
+            if self._foreground_busy():
+                self.deferred += 1
+                self.system.count("scrub-deferred")
+                continue
+            repaired = yield from self._scrub_pass(
+                budget=config.scrub_rate_limit)
+            sweep_repaired += repaired
+            if self._cursor_path is None:
+                # Sweep complete: quiesce on a clean one, else go again.
+                if sweep_repaired == 0:
+                    return
+                sweep_repaired = 0.0
+
     # -- the pass ----------------------------------------------------------
-    def _scrub_pass(self) -> Generator:
+    def _scrub_pass(self, budget: float = 0.0) -> Generator:
         t_start = self.engine.now
         system = self.system
         scanned = repaired = lost = 0.0
-        for path in sorted(system._sessions):
+        paths = sorted(system._sessions)
+        start = 0
+        if budget > 0 and self._cursor_path is not None:
+            for i, path in enumerate(paths):
+                if path >= self._cursor_path:
+                    start = i
+                    break
+        next_cursor = None
+        for path in paths[start:]:
+            if budget > 0 and scanned >= budget:
+                next_cursor = path
+                break
             session = system._sessions[path]
             s, r, l = self._scrub_session(session)
             scanned += s
@@ -150,6 +280,8 @@ class ScrubService:
                                       system.resilience.pending_bytes(
                                           session))
                 system.resilience.start_replication(session)
+        if budget > 0:
+            self._cursor_path = next_cursor
         self.verified_bytes += scanned
         self.repaired_bytes += repaired
         self.lost_bytes += lost

@@ -110,9 +110,12 @@ class UniviStorServers:
             replica_stride=(config.servers_per_node
                             if self.total_servers > config.servers_per_node
                             else 1),
-            checkpoint_threshold=config.journal_checkpoint)
+            checkpoint_threshold=config.journal_checkpoint,
+            quorum=config.meta_quorum)
         self.metadata.on_failover = self._note_metadata_failover
         self.metadata.on_checkpoint = self._note_journal_checkpoint
+        self.metadata.on_read_repair = self._note_read_repair
+        self.metadata.on_fence_reject = self._note_fence_reject
         # Client-side location cache (metadata fast path, §9): tracked
         # files resolve read placement locally; write-through plus the
         # invalidation hooks (overwrite / flush / delete / takeover)
@@ -130,6 +133,9 @@ class UniviStorServers:
         self.failed_nodes: set = set()
         #: Server processes that have crashed (fault injection).
         self.failed_servers: set = set()
+        #: Server processes that are alive but cut off by a network
+        #: partition (fault injection; healable).
+        self.partitioned_servers: set = set()
         #: Telemetry sink, attached by the Simulation facade.
         self.telemetry = None
         # Collective services (imported here to avoid module cycles).
@@ -171,6 +177,12 @@ class UniviStorServers:
                                  truncated: int) -> None:
         self.count("journal-checkpoint")
         self.count("journal-truncated-entries", truncated)
+
+    def _note_read_repair(self, range_index: int, server: int) -> None:
+        self.count("meta-read-repair")
+
+    def _note_fence_reject(self, range_index: int, server: int) -> None:
+        self.count("fence-reject")
 
     def count(self, name: str, value: float = 1.0) -> None:
         """Bump a telemetry counter if a sink is attached (fast-path
@@ -247,6 +259,55 @@ class UniviStorServers:
             self.recovery.handle_node_dead(node_id)
         elif self.config.resilience_enabled:
             self.rereplicate_pending()
+
+    def partition_servers(self, servers, mode: str = "sym") -> None:
+        """Cut the network links to a group of server processes.
+
+        ``sym`` (symmetric cut): client requests *and* heartbeats are
+        lost — the failure detector holds the group in suspect and the
+        lease clock starts ticking toward fencing.  ``oneway``: clients
+        cannot reach the group but its heartbeats still arrive, so it is
+        never suspected or fenced; ranges whose current copies all live
+        inside it are simply unavailable until the heal.  Crashed
+        servers are not re-animated by joining a partition group.
+        """
+        if mode not in ("sym", "oneway"):
+            raise ValueError(f"unknown partition mode {mode!r}")
+        group = sorted(set(servers))
+        for server_id in group:
+            if not 0 <= server_id < self.total_servers:
+                raise ValueError(f"no server {server_id}")
+        newly = [s for s in group if s not in self.partitioned_servers
+                 and s not in self.failed_servers]
+        if not newly:
+            return
+        for server_id in newly:
+            self.partitioned_servers.add(server_id)
+            self.metadata.set_unreachable(server_id)
+        self.telemetry_hook(
+            "fault-partition",
+            f"servers:{'+'.join(map(str, newly))}:{mode}", 0.0)
+        if mode == "sym" and self.health is not None:
+            for server_id in newly:
+                self.health.note_server_partition(server_id)
+
+    def heal_partition(self, servers=None) -> None:
+        """Restore connectivity to a partitioned group (default: every
+        partitioned server).  Healing restores *reachability* only — a
+        fenced ex-owner's ranges stay fenced in the metadata service
+        until read-repair or a takeover rebuilds them."""
+        group = (sorted(self.partitioned_servers) if servers is None
+                 else sorted(set(servers)))
+        healed = [s for s in group if s in self.partitioned_servers]
+        if not healed:
+            return
+        for server_id in healed:
+            self.partitioned_servers.discard(server_id)
+            self.metadata.set_reachable(server_id)
+            if self.health is not None:
+                self.health.note_server_heal(server_id)
+        self.telemetry_hook(
+            "partition-heal", f"servers:{'+'.join(map(str, healed))}", 0.0)
 
     def rereplicate_pending(self) -> None:
         """Re-replicate every session still holding unreplicated volatile

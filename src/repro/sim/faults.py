@@ -28,12 +28,15 @@ from repro.sim.rng import StreamRNG
 
 __all__ = ["Fault", "FaultInjector", "FaultSpec"]
 
-#: Fault kinds understood by the injector.  ``data-corrupt`` (silent rot
-#: in stored bytes, detected only by checksum verification) is appended
+#: Fault kinds understood by the injector.  New kinds are appended
 #: last: the timeline sort keys on ``KINDS.index``, so extending the
 #: tuple at the end preserves every existing schedule bit-for-bit.
+#: ``data-corrupt`` is silent rot in stored bytes, detected only by
+#: checksum verification; ``partition``/``heal`` cut and restore the
+#: network links around a server or node group (CAP failure model).
 KINDS = ("node-crash", "server-crash", "device-degrade", "device-fail",
-         "write-errors", "net-degrade", "net-delay", "data-corrupt")
+         "write-errors", "net-degrade", "net-delay", "data-corrupt",
+         "partition", "heal")
 
 _SHARED_TIERS = ("pfs", "shared_bb")
 
@@ -59,6 +62,16 @@ class Fault:
     delay: float = 0.0
     #: Bytes to rot for ``data-corrupt`` (None -> the injector default).
     nbytes: Optional[float] = None
+    #: Server group for ``partition``/``heal`` (exactly one of servers/
+    #: nodes for partition; heal may omit both to heal everything).
+    servers: Optional[Tuple[int, ...]] = None
+    #: Node group for ``partition``/``heal``: expands to every server
+    #: process the nodes host.
+    nodes: Optional[Tuple[int, ...]] = None
+    #: Partition mode: ``sym`` (default — requests and heartbeats lost,
+    #: fencing clock runs) or ``oneway`` (requests lost, heartbeats
+    #: still arrive: unavailable but never suspected or fenced).
+    mode: Optional[str] = None
 
     def __post_init__(self):
         if self.at < 0:
@@ -81,6 +94,34 @@ class Fault:
             raise ValueError("data-corrupt needs tier=<storage tier>")
         if self.nbytes is not None and self.nbytes <= 0:
             raise ValueError(f"nbytes must be positive, got {self.nbytes}")
+        if self.kind == "partition":
+            if (self.servers is None) == (self.nodes is None):
+                raise ValueError(
+                    "partition needs exactly one of servers=/nodes=")
+            if self.mode not in (None, "sym", "oneway"):
+                raise ValueError(f"unknown partition mode {self.mode!r}; "
+                                 f"valid: sym, oneway")
+        elif self.kind == "heal":
+            if self.servers is not None and self.nodes is not None:
+                raise ValueError("heal takes at most one of servers=/nodes=")
+            if self.mode is not None:
+                raise ValueError("mode= is only valid for partition faults")
+        else:
+            if self.servers is not None or self.nodes is not None:
+                raise ValueError(f"servers=/nodes= are only valid for "
+                                 f"partition/heal, not {self.kind}")
+            if self.mode is not None:
+                raise ValueError("mode= is only valid for partition faults")
+        for group in (self.servers, self.nodes):
+            if group is not None:
+                if not group:
+                    raise ValueError("empty partition group")
+                if any(member < 0 for member in group):
+                    raise ValueError(f"negative id in partition group "
+                                     f"{group}")
+                if len(set(group)) != len(group):
+                    raise ValueError(f"duplicate id in partition group "
+                                     f"{group}")
 
     def describe(self) -> str:
         parts = [self.kind]
@@ -98,6 +139,12 @@ class Fault:
             parts.append(f"delay={self.delay:g}")
         if self.nbytes is not None:
             parts.append(f"nbytes={self.nbytes:g}")
+        if self.servers is not None:
+            parts.append(f"servers={'+'.join(map(str, self.servers))}")
+        if self.nodes is not None:
+            parts.append(f"nodes={'+'.join(map(str, self.nodes))}")
+        if self.mode is not None:
+            parts.append(f"mode={self.mode}")
         return ":".join(parts)
 
 
@@ -146,6 +193,47 @@ class FaultSpec:
                     f"a crashed target stays crashed, so the second event "
                     f"can never fire — remove it from the spec")
             seen.add(key)
+        # Partition groups must not overlap while active: a server (or
+        # node) may join a second partition only after an intervening
+        # heal — an explicit heal@ event or the first partition's
+        # duration= auto-heal — releases it.  Two simultaneously active
+        # overlapping cuts would make "which side of the partition is
+        # this server on?" ambiguous.  (Server-id groups and node-id
+        # groups are tracked separately; resolving a node to its server
+        # ids needs the machine config, which a spec does not have.)
+        active_servers: set = set()
+        active_nodes: set = set()
+        pending: List[Tuple[float, frozenset, frozenset]] = []
+        for fault in sorted((f for f in self.events
+                             if f.kind in ("partition", "heal")),
+                            key=lambda f: f.at):
+            for entry in [p for p in pending if p[0] <= fault.at]:
+                active_servers.difference_update(entry[1])
+                active_nodes.difference_update(entry[2])
+                pending.remove(entry)
+            if fault.kind == "heal":
+                if fault.servers is None and fault.nodes is None:
+                    active_servers.clear()
+                    active_nodes.clear()
+                    pending.clear()
+                else:
+                    active_servers.difference_update(fault.servers or ())
+                    active_nodes.difference_update(fault.nodes or ())
+                continue
+            srv = set(fault.servers or ())
+            nds = set(fault.nodes or ())
+            clash = (srv & active_servers) | (nds & active_nodes)
+            if clash:
+                raise ValueError(
+                    f"overlapping partition groups: {sorted(clash)} already "
+                    f"partitioned at t={fault.at:g}; heal first or use "
+                    f"disjoint groups")
+            active_servers |= srv
+            active_nodes |= nds
+            if fault.duration is not None:
+                pending.append((fault.at + fault.duration,
+                                frozenset(srv), frozenset(nds)))
+                pending.sort(key=lambda p: p[0])
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":
@@ -196,6 +284,10 @@ class FaultSpec:
                     kwargs["tier"] = val.strip()
                 elif key in ("factor", "duration", "delay", "nbytes"):
                     kwargs[key] = float(val)
+                elif key in ("servers", "nodes"):
+                    kwargs[key] = tuple(int(x) for x in val.split("+"))
+                elif key == "mode":
+                    kwargs["mode"] = val.strip()
                 else:
                     raise ValueError(f"unknown fault key {key!r}")
             events.append(Fault(**kwargs))
@@ -228,6 +320,7 @@ class FaultInjector:
         # timeline-resolution draws below.
         self._fire_rng = StreamRNG(self.seed)
         self.timeline: Tuple[Fault, ...] = self._resolve_timeline()
+        self._check_partition_overlap()
         #: (sim time, fault description) for every fault/restore applied.
         self.applied: List[Tuple[float, str]] = []
         self._installed = False
@@ -290,6 +383,45 @@ class FaultInjector:
                                    f.tier or ""))
         return tuple(events)
 
+    def _check_partition_overlap(self) -> None:
+        """Reject overlapping cuts the spec could not see.
+
+        :class:`FaultSpec` tracks server-id and node-id groups
+        separately (it has no machine config), so a ``nodes=`` cut
+        overlapping a ``servers=`` cut parses cleanly.  Here the
+        topology is known: expand every group to concrete server ids
+        and replay the same active/pending walk, so a mixed overlap
+        fails when the campaign is armed rather than double-cutting a
+        server at runtime.
+        """
+        active: set = set()
+        pending: List[Tuple[float, frozenset]] = []
+        for fault in self.timeline:
+            if fault.kind not in ("partition", "heal"):
+                continue
+            for entry in [p for p in pending if p[0] <= fault.at]:
+                active.difference_update(entry[1])
+                pending.remove(entry)
+            group = set(self._partition_group(fault))
+            if fault.kind == "heal":
+                if fault.servers is None and fault.nodes is None:
+                    active.clear()
+                    pending.clear()
+                else:
+                    active.difference_update(group)
+                continue
+            clash = group & active
+            if clash:
+                raise ValueError(
+                    f"overlapping partition groups: servers "
+                    f"{sorted(clash)} already partitioned at t={fault.at} "
+                    f"(node groups expand to their hosted servers) — heal "
+                    f"the first cut before starting the second")
+            active.update(group)
+            if fault.duration is not None:
+                pending.append((fault.at + fault.duration,
+                                frozenset(group)))
+
     # -- installation -------------------------------------------------------
     def install(self) -> "FaultInjector":
         """Arm every fault as an engine timeout (idempotent)."""
@@ -321,6 +453,20 @@ class FaultInjector:
 
     def _note(self, desc: str) -> None:
         self.applied.append((self.engine.now, desc))
+
+    def _partition_group(self, fault: Fault) -> List[int]:
+        """Resolve a partition/heal group to concrete server ids.
+
+        Node groups expand to every server process the node hosts
+        (node ``n`` runs servers ``n*spn .. (n+1)*spn - 1``).
+        """
+        if fault.servers is not None:
+            return list(fault.servers)
+        spn = self.system.config.servers_per_node
+        group: List[int] = []
+        for node_id in fault.nodes or ():
+            group.extend(range(node_id * spn, (node_id + 1) * spn))
+        return group
 
     def _schedule_restore(self, duration: float, restore, desc: str) -> None:
         def _fire(_ev):
@@ -401,6 +547,21 @@ class FaultInjector:
             return
         if fault.kind == "data-corrupt":
             self._apply_corrupt(fault, index)
+            return
+        if fault.kind == "partition":
+            group = self._partition_group(fault)
+            system.partition_servers(group, mode=fault.mode or "sym")
+            if fault.duration is not None:
+                label = "+".join(map(str, group))
+                self._schedule_restore(
+                    fault.duration,
+                    lambda group=list(group): system.heal_partition(group),
+                    f"heal:servers:{label}")
+            return  # partition_servers/heal_partition emit telemetry
+        if fault.kind == "heal":
+            explicit = fault.servers is not None or fault.nodes is not None
+            system.heal_partition(
+                self._partition_group(fault) if explicit else None)
             return
         backbone = self.machine.network.backbone
         if fault.kind == "net-degrade":

@@ -41,3 +41,31 @@ class TestFullCampaign:
     def test_hardened_beats_baseline(self, campaigns):
         hardened, baseline = campaigns
         assert hardened.reads_ok > baseline.reads_ok
+
+
+@pytest.fixture(scope="module")
+def partition_campaign():
+    from repro.chaos import run_campaign
+    return run_campaign(FULL_SEEDS, hardened=True, mix="partition", jobs=4)
+
+
+class TestFullPartitionCampaign:
+    """Nightly partition-heavy acceptance: zero durability violations,
+    zero stale reads, and both quorum outcomes exercised at scale."""
+
+    def test_zero_violations(self, partition_campaign):
+        assert partition_campaign.violations == []
+
+    def test_zero_stale_reads(self, partition_campaign):
+        stale = [v for v in partition_campaign.violations
+                 if "silent corruption" in v]
+        assert stale == []
+
+    def test_read_success_bar(self, partition_campaign):
+        assert partition_campaign.success_rate >= 0.99, (
+            f"partition mix recovered only {partition_campaign.reads_ok}/"
+            f"{partition_campaign.reads_total} reads")
+
+    def test_both_quorum_outcomes_at_scale(self, partition_campaign):
+        assert partition_campaign.writes_ok > 0
+        assert partition_campaign.writes_lost > 0

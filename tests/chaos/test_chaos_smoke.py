@@ -108,3 +108,54 @@ class TestChaosBaseline:
         hardened = run_campaign(SMOKE_SEEDS, hardened=True)
         baseline = run_campaign(SMOKE_SEEDS, hardened=False)
         assert hardened.reads_ok >= baseline.reads_ok
+
+
+class TestPartitionSmoke:
+    """Gating slice of the partition mix: network cuts, quorum-admitted
+    mid-cut overwrites, lease fencing, and heal without resurrection."""
+
+    def setup_method(self):
+        self.campaign = run_campaign(SMOKE_SEEDS, hardened=True,
+                                     mix="partition")
+
+    def test_durability_invariant(self):
+        assert self.campaign.violations == []
+
+    def test_no_stale_reads(self):
+        # A healed ex-owner serving a pre-overwrite pattern would show
+        # up as silent corruption; none may survive the fencing.
+        stale = [v for v in self.campaign.violations
+                 if "silent corruption" in v]
+        assert stale == []
+        assert self.campaign.success_rate >= 0.95
+
+    def test_every_seed_draws_a_partition(self):
+        for run in self.campaign.runs:
+            assert any(f.startswith("partition") for f in run.faults), \
+                f"seed {run.seed} drew no partition"
+
+    def test_overwrites_see_both_quorum_outcomes(self):
+        # Across the slice some overwrites commit on a majority and
+        # some are rejected whole — both sides of the CAP trade-off.
+        assert self.campaign.writes_ok > 0
+        assert self.campaign.writes_lost > 0
+
+    def test_parallel_campaign_digests_match_serial(self):
+        serial = run_campaign(4, hardened=True, mix="partition")
+        fanned = run_campaign(4, hardened=True, mix="partition", jobs=2)
+        assert [r.digest for r in serial.runs] \
+            == [r.digest for r in fanned.runs]
+
+
+class TestPartitionDeterminism:
+    def test_same_seed_same_digest(self):
+        a = run_one(7, hardened=True, mix="partition")
+        b = run_one(7, hardened=True, mix="partition")
+        assert a.digest == b.digest
+        assert a.faults == b.faults
+        assert a.telemetry_ops == b.telemetry_ops
+
+    def test_mix_changes_digest(self):
+        a = run_one(7, hardened=True, mix="storm")
+        b = run_one(7, hardened=True, mix="partition")
+        assert a.digest != b.digest
