@@ -49,12 +49,14 @@ BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks",
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_simulator.json")
 
 #: The benches whose trajectory gates hot-path PRs: the two original
-#: trajectory points (ISSUE 2) plus the metadata fast-path pair (ISSUE 5).
+#: trajectory points (ISSUE 2), the metadata fast-path pair (ISSUE 5)
+#: and the multi-job admission path (ISSUE 7, non-gating).
 QUICK_BENCHES = [
     "test_event_loop_throughput",
     "test_micro_1024_procs_wall_time",
     "test_metadata_insert_throughput",
     "test_cached_read_latency",
+    "test_multi_job_throughput",
 ]
 
 #: Excluded from the default run: the paper's largest scale is minutes of

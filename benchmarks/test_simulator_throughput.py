@@ -184,3 +184,17 @@ class TestFullStackThroughput:
         total = benchmark.pedantic(self._run_micro, args=(8192,),
                                    rounds=1, iterations=1)
         assert total == 8192 * 256 * MiB
+
+
+class TestMultiJobThroughput:
+    def _run_trace(self):
+        from repro.workloads.engine import WorkloadSpec, run_trace
+        spec = WorkloadSpec(jobs=25, seed=0)
+        return run_trace(spec.generate(), spec=spec)
+
+    def test_multi_job_throughput(self, benchmark):
+        """25-job heavy-tail trace through admission + DHP: the wall cost
+        of one strategy point in a compare-strategies sweep."""
+        result = benchmark.pedantic(self._run_trace, rounds=3, iterations=1)
+        assert len(result.jobs) == 25
+        assert result.counters["wl-complete"] == 25

@@ -36,8 +36,9 @@ from repro.sim.faults import FaultSpec
 from repro.simmpi.mpiio import File, IORequest
 from repro.simulation import Simulation
 from repro.storage.datamodel import PatternPayload
+from repro.workloads.engine import WorkloadSpec, run_trace
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "FaultSpec",
@@ -49,6 +50,9 @@ __all__ = [
     "Table",
     "Telemetry",
     "UniviStorConfig",
+    "WorkloadSpec",
+    "run_experiment",
+    "run_trace",
 ]
 
 #: Names that used to be re-exported here; each maps to the module that
@@ -76,6 +80,11 @@ _MOVED = {
 
 
 def __getattr__(name):
+    if name == "run_experiment":
+        # Lazy: resolving the experiment registry imports every figure
+        # runner, which plain ``import repro`` should not pay for.
+        from repro.experiments import run_experiment
+        return run_experiment
     if name in _MOVED:
         raise AttributeError(
             f"{name!r} is not part of the stable public API of 'repro'; "

@@ -8,6 +8,7 @@ from repro.analysis.utilisation import (
     UtilisationReport,
     machine_utilisation,
 )
+from repro.analysis.workload import strategy_table
 
 __all__ = [
     "Lane",
@@ -20,4 +21,5 @@ __all__ = [
     "build_timeline",
     "fmt_markdown_table",
     "machine_utilisation",
+    "strategy_table",
 ]

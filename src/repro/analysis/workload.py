@@ -1,0 +1,35 @@
+"""Reporting helpers for multi-job workload runs (docs/MODEL.md §10)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.analysis.report import Table
+
+if TYPE_CHECKING:  # import would be cyclic at runtime
+    from repro.workloads.engine import TraceResult
+
+__all__ = ["strategy_table"]
+
+#: summary() keys shown per strategy, in column order.
+_COLUMNS = ("mean_queue_wait", "max_queue_wait", "mean_stretch",
+            "max_stretch", "bb_occupancy", "interference", "queued",
+            "makespan")
+
+
+def strategy_table(results: Mapping[str, "TraceResult"]) -> Table:
+    """One row per strategy, one column per comparison metric.
+
+    ``results`` is the mapping :func:`repro.workloads.compare_strategies`
+    returns; rows sort by strategy name, so the table is stable across
+    runs of the same comparison.
+    """
+    if not results:
+        raise ValueError("no strategy results to tabulate")
+    table = Table(title="Storage-scheduler comparison",
+                  xlabel="strategy", ylabel="metric value")
+    for name in sorted(results):
+        summary = results[name].summary()
+        for column in _COLUMNS:
+            table.add(name, column, summary[column])
+    return table

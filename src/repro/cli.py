@@ -11,6 +11,10 @@ Subcommands::
                     [--heartbeat-interval T] [--suspect-heartbeats K]
                     [--dead-heartbeats K]
     repro figures   [--sweep paper|small|...] [--out DIR] [--only fig6a,..]
+    repro workload  generate --out TRACE [--jobs N] [--mix MIX] [--seed S]
+    repro workload  run [--trace TRACE] [--strategy NAME] [spec knobs]
+    repro workload  compare-strategies [--trace TRACE] [--strategies A,B]
+                    [--repeats N] [spec knobs]
 
 ``repro`` is installed as a console script; ``python -m repro.cli`` works
 too.  SYSTEM is one of the paper's legend labels: ``UniviStor/DRAM``,
@@ -236,6 +240,109 @@ def cmd_figures(args) -> int:
     return runall_main(forwarded)
 
 
+def _workload_spec(args):
+    """Map the ``repro workload`` flags onto a :class:`WorkloadSpec`."""
+    from repro.workloads.engine import WorkloadSpec
+    return WorkloadSpec(
+        machine=args.machine, nodes=args.nodes,
+        procs_per_node=args.procs_per_node, system=args.system,
+        strategy=args.strategy, bb_pools=args.bb_pools,
+        bb_fraction=args.bb_fraction, max_concurrent=args.max_concurrent,
+        jobs=args.jobs, mix=args.mix, arrival_rate=args.arrival_rate,
+        mean_mb_per_rank=args.mean_mb, max_ranks=args.max_ranks,
+        compute_seconds=args.compute, seed=args.seed,
+        fault_spec=getattr(args, "fault_spec", None),
+        fault_seed=getattr(args, "fault_seed", 0),
+        verify_reads=args.verify)
+
+
+def _workload_trace(args, spec):
+    from repro.workloads.jobs import JobTrace
+    if args.trace:
+        return JobTrace.load(args.trace)
+    return spec.generate()
+
+
+def cmd_workload_generate(args) -> int:
+    spec = _workload_spec(args)
+    trace = spec.generate()
+    trace.save(args.out)
+    total = sum(j.write_bytes for j in trace.jobs)
+    print(f"wrote {args.out}: {len(trace)} jobs, mix={trace.mix}, "
+          f"seed={trace.seed}, {fmt_bytes(total)} written in total")
+    return 0
+
+
+def cmd_workload_run(args) -> int:
+    from repro.workloads.engine import run_trace
+    spec = _workload_spec(args)
+    result = run_trace(_workload_trace(args, spec), spec=spec)
+    print(f"{args.strategy}: {len(result.jobs)} jobs, "
+          f"makespan {fmt_time(result.makespan)}")
+    for key, value in sorted(result.summary().items()):
+        print(f"  {key:>16s}: {value:.4g}")
+    print(f"  digest {result.digest}")
+    return 0
+
+
+def cmd_workload_compare(args) -> int:
+    from repro.analysis.report import fmt_markdown_table
+    from repro.analysis.workload import strategy_table
+    from repro.workloads.engine import DEFAULT_STRATEGIES, compare_strategies
+    spec = _workload_spec(args)
+    strategies = (tuple(s for s in args.strategies.split(",") if s)
+                  if args.strategies else DEFAULT_STRATEGIES)
+    results = compare_strategies(_workload_trace(args, spec), spec=spec,
+                                 strategies=strategies, repeats=args.repeats)
+    any_result = next(iter(results.values()))
+    print(f"{len(any_result.jobs)}-job {any_result.mix} trace, "
+          f"{len(results)} strategies x {args.repeats} repeats "
+          f"(digests bit-identical across repeats)")
+    print(fmt_markdown_table(strategy_table(results), "{:.4g}"))
+    for name in sorted(results):
+        print(f"  {name:<20s} digest {results[name].digest}")
+    return 0
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    """Spec knobs shared by every ``repro workload`` action."""
+    g = p.add_argument_group("machine / system")
+    g.add_argument("--machine", default="small",
+                   choices=["small", "cori", "summit"])
+    g.add_argument("--nodes", type=int, default=4)
+    g.add_argument("--procs-per-node", type=int, default=4)
+    g.add_argument("--system", default="UniviStor/BB",
+                   choices=[s for s in SYSTEMS if s not in ("DE", "Lustre")])
+    g = p.add_argument_group("storage scheduling")
+    g.add_argument("--strategy", default="round_robin",
+                   help="storage scheduler name (see "
+                        "repro.workloads.available_strategies)")
+    g.add_argument("--bb-pools", type=int, default=4)
+    g.add_argument("--bb-fraction", type=float, default=0.10,
+                   help="fraction of BB capacity the scheduler may reserve")
+    g.add_argument("--max-concurrent", type=int, default=0,
+                   help="cap on concurrently running jobs (0 = unlimited)")
+    g = p.add_argument_group("trace")
+    g.add_argument("--trace", default=None, metavar="PATH",
+                   help="replay this JSON/CSV trace instead of generating")
+    g.add_argument("--jobs", type=int, default=50)
+    g.add_argument("--mix", default="cloud",
+                   choices=["write_heavy", "read_heavy", "producer_consumer",
+                            "cloud"])
+    g.add_argument("--arrival-rate", type=float, default=16.0,
+                   help="mean job arrivals per second")
+    g.add_argument("--mean-mb", type=float, default=16.0,
+                   help="mean MiB written per rank")
+    g.add_argument("--max-ranks", type=int, default=0,
+                   help="widest job (0 = nodes * procs-per-node)")
+    g.add_argument("--compute", type=float, default=0.2,
+                   help="mean compute seconds between I/O phases")
+    g.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verify", action="store_true",
+                   help="verify read-back payloads byte-for-byte")
+    _add_fault_args(p)
+
+
 def _add_fault_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--fault-spec", default=None, metavar="SPEC",
@@ -329,6 +436,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None)
     p.add_argument("--only", default=None)
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("workload",
+                       help="multi-job traces and storage-scheduler "
+                            "comparison")
+    wsub = p.add_subparsers(dest="workload_command", required=True)
+
+    w = wsub.add_parser("generate", help="generate a job trace file")
+    w.add_argument("--out", required=True, metavar="PATH",
+                   help="output path (.csv writes CSV, anything else JSON)")
+    _add_workload_args(w)
+    w.set_defaults(fn=cmd_workload_generate)
+
+    w = wsub.add_parser("run", help="replay a trace under one strategy")
+    _add_workload_args(w)
+    w.set_defaults(fn=cmd_workload_run)
+
+    w = wsub.add_parser("compare-strategies",
+                        help="replay one trace under several strategies")
+    w.add_argument("--strategies", default=None, metavar="A,B,..",
+                   help="comma list (default: all built-ins)")
+    w.add_argument("--repeats", type=int, default=2,
+                   help="reruns per strategy; digests must match")
+    _add_workload_args(w)
+    w.set_defaults(fn=cmd_workload_compare)
     return parser
 
 

@@ -57,6 +57,10 @@ class ComputeNode:
         self.files = FileStore(name=f"node{node_id}")
         self._programs: Dict[str, ProgramOnNode] = {}
         self._placement_cache: Dict[Tuple, CorePlacement] = {}
+        #: Bumped on every register/unregister; an O(1) stand-in for the
+        #: co-resident program set in downstream cache keys (multi-job
+        #: runs change tenancy mid-simulation).
+        self.tenancy_epoch = 0
         #: True while a server-side flush is running on this node (drives
         #: the Fig. 4d migration in the interference-aware policy).
         self.flush_active = False
@@ -69,10 +73,12 @@ class ComputeNode:
             return
         self._programs[name] = ProgramOnNode(name, nprocs, kind)
         self._placement_cache.clear()
+        self.tenancy_epoch += 1
 
     def unregister_program(self, name: str) -> None:
         self._programs.pop(name, None)
         self._placement_cache.clear()
+        self.tenancy_epoch += 1
 
     def programs(self) -> List[ProgramOnNode]:
         return list(self._programs.values())

@@ -73,6 +73,13 @@ class UniviStorConfig:
     dram_log_capacity: Optional[float] = None
     #: Cap on a single process's shared-BB log (None -> c/p rule).
     bb_log_capacity: Optional[float] = None
+    #: Honour per-program shared-BB reservations
+    #: (:meth:`UniviStorServers.set_bb_quota`): the workload engine's
+    #: storage scheduler grants each job a byte budget and the c/p rule
+    #: divides the grant, not the whole device.  Off, grants are recorded
+    #: but ignored — the ablation that isolates admission-timing effects
+    #: from capacity effects.
+    bb_quota_enforced: bool = True
     #: §V future work — replicate volatile (node-local) cached data to the
     #: shared burst buffer asynchronously at close, so a node failure
     #: before the flush completes loses nothing.
@@ -247,7 +254,8 @@ class UniviStorConfig:
                  "workflow_enabled", "flush_enabled",
                  "resilience_enabled", "adaptive_placement",
                  "health_enabled", "recovery_enabled", "scrub_enabled",
-                 "meta_batch", "location_cache", "meta_quorum"}
+                 "meta_batch", "location_cache", "meta_quorum",
+                 "bb_quota_enforced"}
         changes = {}
         for flag in flags:
             if flag not in valid:

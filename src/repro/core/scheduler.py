@@ -52,8 +52,11 @@ class SchedulerService:
         """
         sensitivity = _SENSITIVITY[op]
         idle = frozenset({self.server_program})
+        # The tenancy epoch keys the co-resident program set: multi-job
+        # runs register/unregister programs mid-simulation, and a factor
+        # cached for one tenancy mix is wrong for the next.
         key = ("client", node.node_id, program, op, node.flush_active,
-               self.policy)
+               self.policy, node.tenancy_epoch)
         cached = self._cache.get(key)
         if cached is None:
             cached = node.efficiency(program, self.policy,

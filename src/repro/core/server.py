@@ -129,6 +129,10 @@ class UniviStorServers:
         self._sessions: Dict[str, FileSession] = {}
         self._fids: Dict[str, int] = {}
         self.connected_clients: Dict[str, int] = {}
+        #: Per-client-program shared-BB byte budgets (workload engine
+        #: reservations); consulted by the c/p rule when
+        #: ``config.bb_quota_enforced``.
+        self.bb_quota: Dict[str, float] = {}
         #: Nodes whose local storage has been lost (resilience testing).
         self.failed_nodes: set = set()
         #: Server processes that have crashed (fault injection).
@@ -414,17 +418,48 @@ class UniviStorServers:
     def has_session(self, path: str) -> bool:
         return path in self._sessions
 
+    # -- burst-buffer quotas (multi-job arbitration) --------------------------
+    def set_bb_quota(self, program: str, nbytes: Optional[float]) -> None:
+        """Grant (``None``: revoke) a shared-BB byte budget for one client
+        program.  Takes effect for logs built after the call — the
+        workload engine sets the quota at admission, before the job's
+        first write, so every log the job builds sees it."""
+        if nbytes is None:
+            self.bb_quota.pop(program, None)
+            return
+        if nbytes <= 0:
+            raise ValueError("quota must be positive (or None to revoke)")
+        self.bb_quota[program] = float(nbytes)
+
     # -- log construction (the c/p rule of §II-B1) -----------------------------
     def _log_capacity(self, tier: StorageTier, node: ComputeNode,
                       comm: Communicator) -> float:
-        """``c/p``: available capacity over the processes sharing it."""
+        """``c/p``: available capacity over the processes sharing it.
+
+        The shared-BB numerator shrinks to the program's reservation when
+        the workload engine granted one (``bb_quota``); the optional
+        per-process config caps (``dram_log_capacity`` /
+        ``bb_log_capacity``) then clamp the quotient.
+        """
         if tier.is_node_local:
             device = self.tier_device(tier, node)
             p = max(1, comm.procs_on_node(node.node_id))
             cap = device.capacity / p
+            if tier is StorageTier.DRAM and \
+                    self.config.dram_log_capacity is not None:
+                cap = min(cap, self.config.dram_log_capacity)
         else:
             device = self.tier_device(tier, None)
-            cap = device.capacity / max(1, comm.size)
+            total = device.capacity
+            if tier is StorageTier.SHARED_BB and \
+                    self.config.bb_quota_enforced:
+                quota = self.bb_quota.get(comm.name)
+                if quota is not None:
+                    total = min(total, quota)
+            cap = total / max(1, comm.size)
+            if tier is StorageTier.SHARED_BB and \
+                    self.config.bb_log_capacity is not None:
+                cap = min(cap, self.config.bb_log_capacity)
         # A log smaller than one chunk is useless; round up.
         return max(cap, self.config.chunk_size)
 

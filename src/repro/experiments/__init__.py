@@ -4,8 +4,15 @@ Every runner returns a :class:`repro.analysis.report.Table` whose rows are
 process counts and whose columns are the figure's series, so the benchmark
 harness can print the same rows the paper plots and assert the ratio bands
 DESIGN.md records.
+
+Entry point: the registry.  Importing this package registers every figure
+runner (plus the multi-job ``"workload"`` comparison) by name, so
+``run_experiment("fig7", {"steps": 3})`` replaces hunting for per-module
+functions; the ``run_fig*`` names stay re-exported for compatibility.
 """
 
+from repro.experiments.registry import (list_experiments,
+                                        register_experiment, run_experiment)
 from repro.experiments.common import PAPER_SWEEP, SMALL_SWEEP, build_simulation
 from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
 from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
@@ -18,6 +25,9 @@ __all__ = [
     "PAPER_SWEEP",
     "SMALL_SWEEP",
     "build_simulation",
+    "list_experiments",
+    "register_experiment",
+    "run_experiment",
     "run_fig5a",
     "run_fig5b",
     "run_fig5c",

@@ -12,6 +12,8 @@ from typing import List, Optional
 
 from repro.analysis.report import Table
 from repro.core.config import UniviStorConfig
+from repro.experiments.registry import (module_main,
+                                        register_experiment)
 from repro.experiments.common import sweep
 from repro.experiments.fig9 import run_workflow
 
@@ -42,3 +44,11 @@ def run_fig10(procs_list: Optional[List[int]] = None, steps: int = 10,
                                    verify=verify)
             table.add(procs, label, elapsed)
     return table
+
+
+register_experiment("fig10", run_fig10)
+
+if __name__ == "__main__":  # pragma: no cover — deprecated shim
+    import sys
+
+    sys.exit(module_main("fig10"))

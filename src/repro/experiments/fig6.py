@@ -9,6 +9,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.analysis.report import Table
+from repro.experiments.registry import (module_main,
+                                        register_experiment)
 from repro.experiments.common import build_simulation, io_rate, sweep
 from repro.units import MiB
 from repro.workloads.iobench import MicroBench
@@ -76,3 +78,13 @@ def run_fig6c(procs_list: Optional[List[int]] = None,
     return _run("flush", FIG6C_SYSTEMS,
                 "Fig. 6c — flush rate to Lustre, UniviStor vs DE",
                 procs_list, bytes_per_proc)
+
+
+register_experiment("fig6a", run_fig6a)
+register_experiment("fig6b", run_fig6b)
+register_experiment("fig6c", run_fig6c)
+
+if __name__ == "__main__":  # pragma: no cover — deprecated shim
+    import sys
+
+    sys.exit(module_main("fig6a", "fig6b", "fig6c"))

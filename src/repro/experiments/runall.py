@@ -18,53 +18,49 @@ import sys
 import time
 
 from repro.analysis.report import Table, fmt_markdown_table
-from repro.experiments import (
-    run_fig5a, run_fig5b, run_fig5c,
-    run_fig6a, run_fig6b, run_fig6c,
-    run_fig7, run_fig8, run_fig9, run_fig10,
-)
+from repro.experiments import run_experiment
 
-#: (figure id, runner, [(numerator, denominator, invert, paper band)]).
-#: ``invert`` marks time-valued tables where the paper's "speedup" is
-#: slower-series / faster-series.
+#: (figure id, [(numerator, denominator, invert, paper band)]).  The id is
+#: the experiment-registry name; ``invert`` marks time-valued tables where
+#: the paper's "speedup" is slower-series / faster-series.
 FIGURES = [
-    ("fig5a", run_fig5a, [
+    ("fig5a", [
         ("IA+COC", "No-IA", False, "1.45-2.5x (avg 1.9x)"),
         ("IA+COC", "No-COC", False, "1.1-3.5x (avg 1.6x)")]),
-    ("fig5b", run_fig5b, [
+    ("fig5b", [
         ("IA+COC", "No-IA", False, "1.13-1.5x (avg 1.25x)"),
         ("IA+COC", "No-COC", False, "1.15-1.8x (avg 1.3x)")]),
-    ("fig5c", run_fig5c, [
+    ("fig5c", [
         ("IA+ADPT", "Disabled", False, "1.9-2.7x (avg 2.3x)")]),
-    ("fig6a", run_fig6a, [
+    ("fig6a", [
         ("UniviStor/DRAM", "DE", False, "3.7-5.6x (avg 4.3x)"),
         ("UniviStor/BB", "DE", False, "1.2-1.7x (avg 1.3x)"),
         ("UniviStor/DRAM", "Lustre", False, "up to 46x"),
         ("UniviStor/BB", "Lustre", False, "up to 12x")]),
-    ("fig6b", run_fig6b, [
+    ("fig6b", [
         ("UniviStor/DRAM", "DE", False, "2.7-4.5x (avg 3.6x)"),
         ("UniviStor/BB", "DE", False, "1.15-1.6x (avg 1.2x)"),
         ("UniviStor/DRAM", "Lustre", False, "up to 16.8x"),
         ("UniviStor/BB", "Lustre", False, "up to 5.4x")]),
-    ("fig6c", run_fig6c, [
+    ("fig6c", [
         ("UniviStor/DRAM", "DE", False, "1.8-2.5x (avg 2x)"),
         ("UniviStor/BB", "DE", False, "1.6-2.5x (avg 1.8x)")]),
-    ("fig7", run_fig7, [
+    ("fig7", [
         ("DE", "UniviStor/DRAM", True, "1.9-3.1x (avg 2.5x)"),
         ("DE", "UniviStor/BB", True, "1.1-1.6x (avg 1.3x)")]),
-    ("fig8", run_fig8, [
+    ("fig8", [
         ("UniviStor/(BB+Disk)", "UniviStor/(DRAM+BB+Disk)", True,
          "1.2-1.6x (avg 1.4x)"),
         ("UniviStor/(Disk)", "UniviStor/(DRAM+BB+Disk)", True,
          "1.4-2x (avg 1.7x)")]),
-    ("fig9", run_fig9, [
+    ("fig9", [
         ("UniviStor/DRAM Nonoverlap", "UniviStor/DRAM Overlap", True,
          "1.2-1.7x (avg 1.3x)"),
         ("UniviStor/BB Nonoverlap", "UniviStor/BB Overlap", True,
          "1.5-2x (avg 1.7x)"),
         ("DE", "UniviStor/DRAM Nonoverlap", True, "3.5-17x (avg 9x)"),
         ("DE", "UniviStor/BB Nonoverlap", True, "1.3-7.2x (avg 3.4x)")]),
-    ("fig10", run_fig10, [
+    ("fig10", [
         ("UniviStor/(BB)", "UniviStor/(DRAM+BB)", True,
          "1.5-2x (avg 1.8x)"),
         ("UniviStor/(Disk)", "UniviStor/(DRAM+BB)", True,
@@ -106,11 +102,11 @@ def main(argv=None) -> int:
     summary = ["# Paper-vs-measured summary",
                "",
                f"sweep: `{os.environ.get('REPRO_SWEEP', 'small')}`", ""]
-    for fig_id, runner, checks in FIGURES:
+    for fig_id, checks in FIGURES:
         if only and fig_id not in only:
             continue
         t0 = time.time()
-        table = runner()
+        table = run_experiment(fig_id)
         wall = time.time() - t0
         with open(os.path.join(args.out, f"{fig_id}.json"), "w") as fh:
             json.dump(table_to_json(table), fh, indent=1)

@@ -163,6 +163,14 @@ class FaultSpec:
     server_crash_rate: float = 0.0
     device_degrade_rate: float = 0.0
     data_corrupt_rate: float = 0.0
+    #: Exponential arrival rate of single-server network cuts (each heals
+    #: itself after ``partition_duration``).  Arrivals that land while an
+    #: overlapping cut is still active are *skipped at runtime* (counter
+    #: ``fault-partition-skipped``) rather than rejected up front —
+    #: random timelines compose with explicit cuts and with each other.
+    partition_rate: float = 0.0
+    partition_duration: float = 0.5
+    partition_mode: str = "sym"
     degrade_factor: float = 0.25
     degrade_duration: float = 30.0
     corrupt_bytes: float = 64 * 1024.0
@@ -170,16 +178,24 @@ class FaultSpec:
 
     def __post_init__(self):
         for rate in (self.node_crash_rate, self.server_crash_rate,
-                     self.device_degrade_rate, self.data_corrupt_rate):
+                     self.device_degrade_rate, self.data_corrupt_rate,
+                     self.partition_rate):
             if rate < 0:
                 raise ValueError(f"negative fault rate {rate}")
+        if self.partition_duration <= 0:
+            raise ValueError(f"partition_duration must be positive, "
+                             f"got {self.partition_duration}")
+        if self.partition_mode not in ("sym", "oneway"):
+            raise ValueError(f"unknown partition mode "
+                             f"{self.partition_mode!r}; valid: sym, oneway")
         if self.corrupt_bytes <= 0:
             raise ValueError(f"corrupt_bytes must be positive, "
                              f"got {self.corrupt_bytes}")
         if self.horizon < 0:
             raise ValueError(f"negative horizon {self.horizon}")
         has_rates = (self.node_crash_rate or self.server_crash_rate
-                     or self.device_degrade_rate or self.data_corrupt_rate)
+                     or self.device_degrade_rate or self.data_corrupt_rate
+                     or self.partition_rate)
         if has_rates and self.horizon <= 0:
             raise ValueError("probabilistic rates need a positive horizon")
         seen = set()
@@ -268,7 +284,8 @@ class FaultSpec:
                         raise ValueError(
                             f"unknown random fault knob {key!r}; valid: "
                             f"{sorted(_RANDOM_KNOBS)}")
-                    rates[key] = float(val)
+                    rates[key] = (val.strip() if key in _STRING_KNOBS
+                                  else float(val))
                 continue
             head, _, tail = chunk.partition(":")
             kind, _, at = head.partition("@")
@@ -297,6 +314,8 @@ class FaultSpec:
 #: Knobs a ``random:`` spec section may set — every FaultSpec field
 #: except the explicit event tuple.
 _RANDOM_KNOBS = frozenset(f.name for f in fields(FaultSpec)) - {"events"}
+#: The knobs parsed as strings rather than floats.
+_STRING_KNOBS = frozenset({"partition_mode"})
 
 
 class FaultInjector:
@@ -359,6 +378,18 @@ class FaultInjector:
                                         tier=tier,
                                         factor=spec.degrade_factor,
                                         duration=spec.degrade_duration))
+        if spec.partition_rate > 0:
+            for server in range(self.system.total_servers):
+                stream = rng.stream(f"fault.partition.{server}")
+                t = 0.0
+                while True:
+                    t += float(stream.exponential(1.0 / spec.partition_rate))
+                    if t >= spec.horizon:
+                        break
+                    events.append(Fault(at=t, kind="partition",
+                                        servers=(server,),
+                                        duration=spec.partition_duration,
+                                        mode=spec.partition_mode))
         if spec.data_corrupt_rate > 0:
             targets: List[Tuple[str, Optional[int]]] = [("pfs", None)]
             if self.machine.burst_buffer is not None:
@@ -384,7 +415,7 @@ class FaultInjector:
         return tuple(events)
 
     def _check_partition_overlap(self) -> None:
-        """Reject overlapping cuts the spec could not see.
+        """Reject overlapping *explicit* cuts the spec could not see.
 
         :class:`FaultSpec` tracks server-id and node-id groups
         separately (it has no machine config), so a ``nodes=`` cut
@@ -393,11 +424,21 @@ class FaultInjector:
         and replay the same active/pending walk, so a mixed overlap
         fails when the campaign is armed rather than double-cutting a
         server at runtime.
+
+        Only the spec's explicit events are checked: cuts drawn from
+        ``partition_rate`` may legitimately collide (with each other or
+        with explicit cuts), and those collisions are *skipped at
+        runtime* instead (see :meth:`_apply`) — rejecting the whole
+        campaign for an unlucky draw would make random partition
+        timelines unusable.
         """
+        explicit = {id(f) for f in self.spec.events}
         active: set = set()
         pending: List[Tuple[float, frozenset]] = []
         for fault in self.timeline:
             if fault.kind not in ("partition", "heal"):
+                continue
+            if id(fault) not in explicit:
                 continue
             for entry in [p for p in pending if p[0] <= fault.at]:
                 active.difference_update(entry[1])
@@ -514,6 +555,18 @@ class FaultInjector:
     def _apply(self, fault: Fault, index: int = 0) -> None:
         system = self.system
         desc = fault.describe()
+        if fault.kind == "partition":
+            # Runtime overlap skipping: an arriving cut touching a server
+            # that is already partitioned (by an explicit event or an
+            # earlier random draw) is dropped whole — double-cutting
+            # would make "which side is this server on?" ambiguous.
+            clash = set(self._partition_group(fault)) \
+                & system.partitioned_servers
+            if clash:
+                self._note(f"skip:{desc}")
+                system.count("fault-partition-skipped")
+                system.telemetry_hook("fault-partition-skipped", desc, 0.0)
+                return
         self._note(desc)
         if fault.kind == "node-crash":
             system.crash_node(fault.target)

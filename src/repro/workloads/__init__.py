@@ -10,18 +10,56 @@
   compute (sleep) phases between checkpoints.
 * :mod:`~repro.workloads.bdcats` — the BD-CATS-IO kernel: the parallel
   clustering reader that consumes all eight properties of all particles.
+
+Multi-job workloads (docs/MODEL.md §10):
+
+* :mod:`~repro.workloads.jobs` — the :class:`Job`/:class:`JobTrace`
+  model, JSON/CSV loaders and the seeded synthetic trace generator.
+* :mod:`~repro.workloads.strategies` — the pluggable
+  :class:`StorageScheduler` registry (burst-buffer arbitration).
+* :mod:`~repro.workloads.engine` — the multi-job orchestrator behind
+  :func:`run_trace` / :func:`compare_strategies` and the kw-only
+  :class:`WorkloadSpec`.
 """
 
+# Single-app kernels first: the multi-job modules below may be imported
+# while this package is still initialising.
 from repro.workloads.hdf5sim import DatasetSpec, Hdf5Layout
 from repro.workloads.iobench import MicroBench
 from repro.workloads.vpic import VPIC_BYTES_PER_PROC_PER_STEP, VpicIO
 from repro.workloads.bdcats import BdCatsIO
+from repro.workloads.jobs import (Job, JobPhase, JobTrace, MIXES, PATTERNS,
+                                  generate_trace)
+from repro.workloads.strategies import (Allocation, BBPool, StorageScheduler,
+                                        available_strategies, make_strategy,
+                                        register_strategy)
+from repro.workloads.engine import (JobResult, TraceResult, WorkloadEngine,
+                                    WorkloadSpec, compare_strategies,
+                                    run_trace)
 
 __all__ = [
+    "Allocation",
+    "BBPool",
     "BdCatsIO",
     "DatasetSpec",
     "Hdf5Layout",
+    "Job",
+    "JobPhase",
+    "JobResult",
+    "JobTrace",
     "MicroBench",
+    "MIXES",
+    "PATTERNS",
+    "StorageScheduler",
+    "TraceResult",
     "VPIC_BYTES_PER_PROC_PER_STEP",
     "VpicIO",
+    "WorkloadEngine",
+    "WorkloadSpec",
+    "available_strategies",
+    "compare_strategies",
+    "generate_trace",
+    "make_strategy",
+    "register_strategy",
+    "run_trace",
 ]

@@ -1,0 +1,350 @@
+"""Multi-job workload traces (docs/MODEL.md §10).
+
+A :class:`JobTrace` is an ordered list of :class:`Job` entries — arrival
+time, rank count and a per-phase I/O script — that the workload engine
+(:mod:`repro.workloads.engine`) replays against one simulated machine so
+jobs genuinely contend for burst-buffer capacity and bandwidth.
+
+Traces come from two places:
+
+* :func:`generate_trace` — a seeded synthetic generator covering the four
+  canonical mixes (``write_heavy``, ``read_heavy``, ``producer_consumer``
+  and the heavy-tail ``cloud`` mix, whose job sizes are lognormal with a
+  fat tail plus occasional full-width "giant" jobs).
+* :meth:`JobTrace.load` — JSON (schema 1) or CSV files, so externally
+  recorded traces replay through the same engine.
+
+Determinism: every stochastic draw comes from a named
+:class:`~repro.sim.rng.StreamRNG` stream (``trace.arrival`` for
+inter-arrival gaps, ``trace.job.<i>`` for job ``i``'s shape), so adding a
+new per-job draw never perturbs other jobs, and the same ``seed`` always
+yields the byte-identical trace.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.sim.rng import StreamRNG
+from repro.units import KiB, MiB
+
+__all__ = [
+    "Job",
+    "JobPhase",
+    "JobTrace",
+    "MIXES",
+    "PATTERNS",
+    "generate_trace",
+]
+
+#: Trace-file schema version (bump on incompatible layout changes).
+TRACE_SCHEMA = 1
+
+#: Per-job I/O patterns a phase script can be generated from.
+PATTERNS = ("write_heavy", "read_heavy", "producer_consumer")
+
+#: Trace-level mixes: one fixed pattern for every job, or the heavy-tail
+#: ``cloud`` mix that draws each job's pattern (and occasionally a giant).
+MIXES = PATTERNS + ("cloud",)
+
+_PHASE_KINDS = ("write", "read", "compute")
+
+
+@dataclass(frozen=True)
+class JobPhase:
+    """One step of a job's I/O script.
+
+    ``write``/``read`` phases move ``nbytes_per_rank`` bytes per rank
+    (writes append a fresh contiguous region; reads fetch the most
+    recently written region); ``compute`` phases sleep for ``seconds``.
+    """
+
+    kind: str
+    nbytes_per_rank: float = 0.0
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in _PHASE_KINDS:
+            raise ValueError(f"unknown phase kind {self.kind!r}; "
+                             f"valid: {list(_PHASE_KINDS)}")
+        if self.nbytes_per_rank < 0:
+            raise ValueError("nbytes_per_rank must be >= 0")
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        if self.kind == "compute" and self.nbytes_per_rank:
+            raise ValueError("compute phases carry no bytes")
+        if self.kind != "compute" and self.seconds:
+            raise ValueError("I/O phases carry no compute seconds")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One job of a multi-job trace."""
+
+    job_id: int
+    arrival: float
+    ranks: int
+    pattern: str
+    phases: Tuple[JobPhase, ...]
+
+    def __post_init__(self):
+        if self.job_id < 0:
+            raise ValueError("job_id must be >= 0")
+        if self.arrival < 0:
+            raise ValueError("arrival must be >= 0")
+        if self.ranks < 1:
+            raise ValueError("ranks must be >= 1")
+        if not self.phases:
+            raise ValueError("a job needs at least one phase")
+        object.__setattr__(self, "phases", tuple(self.phases))
+
+    @property
+    def name(self) -> str:
+        """The program name the job runs under (``job0007``)."""
+        return f"job{self.job_id:04d}"
+
+    @property
+    def write_bytes(self) -> float:
+        """Total bytes the job writes (all ranks, all write phases)."""
+        return sum(p.nbytes_per_rank for p in self.phases
+                   if p.kind == "write") * self.ranks
+
+    @property
+    def read_bytes(self) -> float:
+        return sum(p.nbytes_per_rank for p in self.phases
+                   if p.kind == "read") * self.ranks
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases if p.kind == "compute")
+
+    @property
+    def bb_request(self) -> float:
+        """Burst-buffer bytes the job asks the storage scheduler for.
+
+        Writes append (never overwrite), so the peak footprint is the
+        total written volume.
+        """
+        return self.write_bytes
+
+
+@dataclass(frozen=True)
+class JobTrace:
+    """An arrival-ordered collection of jobs plus its provenance."""
+
+    jobs: Tuple[Job, ...]
+    mix: str = "custom"
+    seed: int = 0
+    schema: int = field(default=TRACE_SCHEMA, compare=False)
+
+    def __post_init__(self):
+        if self.schema != TRACE_SCHEMA:
+            raise ValueError(f"unsupported trace schema {self.schema} "
+                             f"(this build reads schema {TRACE_SCHEMA})")
+        jobs = tuple(sorted(self.jobs, key=lambda j: (j.arrival, j.job_id)))
+        if len({j.job_id for j in jobs}) != len(jobs):
+            raise ValueError("duplicate job_id in trace")
+        object.__setattr__(self, "jobs", jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    # -- JSON ---------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({
+            "schema": TRACE_SCHEMA,
+            "mix": self.mix,
+            "seed": self.seed,
+            "jobs": [{
+                "job_id": j.job_id,
+                "arrival": j.arrival,
+                "ranks": j.ranks,
+                "pattern": j.pattern,
+                "phases": [{
+                    "kind": p.kind,
+                    **({"nbytes_per_rank": p.nbytes_per_rank}
+                       if p.kind != "compute" else {}),
+                    **({"seconds": p.seconds}
+                       if p.kind == "compute" else {}),
+                } for p in j.phases],
+            } for j in self.jobs],
+        }, indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "JobTrace":
+        doc = json.loads(text)
+        if not isinstance(doc, dict) or "jobs" not in doc:
+            raise ValueError("not a job trace: missing 'jobs'")
+        jobs = tuple(
+            Job(job_id=int(j["job_id"]),
+                arrival=float(j["arrival"]),
+                ranks=int(j["ranks"]),
+                pattern=str(j["pattern"]),
+                phases=tuple(
+                    JobPhase(kind=str(p["kind"]),
+                             nbytes_per_rank=float(
+                                 p.get("nbytes_per_rank", 0.0)),
+                             seconds=float(p.get("seconds", 0.0)))
+                    for p in j["phases"]))
+            for j in doc["jobs"])
+        return JobTrace(jobs=jobs, mix=str(doc.get("mix", "custom")),
+                        seed=int(doc.get("seed", 0)),
+                        schema=int(doc.get("schema", TRACE_SCHEMA)))
+
+    # -- CSV ----------------------------------------------------------------
+    # One row per job; the phase script is packed into a single column as
+    # e.g. ``write:8388608|compute:0.5|read:8388608`` (bytes for I/O
+    # phases, seconds for compute).
+    _CSV_FIELDS = ("job_id", "arrival", "ranks", "pattern", "phases")
+
+    def to_csv(self) -> str:
+        lines = [",".join(self._CSV_FIELDS)]
+        for j in self.jobs:
+            phases = "|".join(
+                f"{p.kind}:{p.seconds!r}" if p.kind == "compute"
+                else f"{p.kind}:{p.nbytes_per_rank!r}"
+                for p in j.phases)
+            lines.append(f"{j.job_id},{j.arrival!r},{j.ranks},"
+                         f"{j.pattern},{phases}")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def from_csv(text: str) -> "JobTrace":
+        reader = csv.DictReader(text.splitlines())
+        missing = set(JobTrace._CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"trace CSV missing columns: {sorted(missing)}")
+        jobs: List[Job] = []
+        for row in reader:
+            phases = []
+            for part in row["phases"].split("|"):
+                kind, _, value = part.partition(":")
+                if kind == "compute":
+                    phases.append(JobPhase(kind, seconds=float(value)))
+                else:
+                    phases.append(JobPhase(kind,
+                                           nbytes_per_rank=float(value)))
+            jobs.append(Job(job_id=int(row["job_id"]),
+                            arrival=float(row["arrival"]),
+                            ranks=int(row["ranks"]),
+                            pattern=row["pattern"],
+                            phases=tuple(phases)))
+        return JobTrace(jobs=tuple(jobs))
+
+    # -- files --------------------------------------------------------------
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the trace; ``.csv`` selects CSV, anything else JSON."""
+        text = (self.to_csv() if str(path).endswith(".csv")
+                else self.to_json() + "\n")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+    @staticmethod
+    def load(path: Union[str, os.PathLike]) -> "JobTrace":
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        if str(path).endswith(".csv"):
+            return JobTrace.from_csv(text)
+        return JobTrace.from_json(text)
+
+
+# -- synthetic generation -----------------------------------------------------
+
+#: cloud-mix pattern weights over PATTERNS (write-heavy dominates, as in
+#: datacenter storage traces).
+_CLOUD_WEIGHTS = (0.50, 0.25, 0.25)
+#: Fraction of cloud-mix jobs that are full-width "giants" (heavy tail).
+_CLOUD_GIANT_FRACTION = 0.08
+#: Size multiplier a giant gets on top of its lognormal draw.
+_CLOUD_GIANT_SCALE = 8.0
+#: Lognormal sigma: modest spread for the fixed mixes, fat tail for cloud.
+_SIGMA_NARROW = 0.5
+_SIGMA_HEAVY = 1.4
+
+_MIN_PHASE_BYTES = 64 * KiB
+
+
+def _phases_for(pattern: str, nbytes: float, compute: float
+                ) -> Tuple[JobPhase, ...]:
+    write = JobPhase("write", nbytes_per_rank=nbytes)
+    read = JobPhase("read", nbytes_per_rank=nbytes)
+    think = (JobPhase("compute", seconds=compute),) if compute > 0 else ()
+    if pattern == "write_heavy":
+        # Two checkpoints with a compute gap: the VPIC shape.
+        return (write,) + think + (write,)
+    if pattern == "read_heavy":
+        # One checkpoint, then repeated analysis passes over it.
+        return (write,) + think + (read, read)
+    if pattern == "producer_consumer":
+        return (write,) + think + (read,)
+    raise ValueError(f"unknown pattern {pattern!r}; valid: {list(PATTERNS)}")
+
+
+def generate_trace(*, jobs: int = 50, mix: str = "cloud", seed: int = 0,
+                   arrival_rate: float = 4.0,
+                   mean_mb_per_rank: float = 8.0,
+                   max_ranks: int = 16,
+                   compute_seconds: float = 0.2) -> JobTrace:
+    """Generate a deterministic synthetic trace.
+
+    * Arrivals are Poisson: exponential inter-arrival gaps at
+      ``arrival_rate`` jobs/second (stream ``trace.arrival``).
+    * Job ``i``'s shape comes from stream ``trace.job.<i>`` with a fixed
+      draw order (pattern, size, ranks, giant flag, compute), so a new
+      knob appended to the order never reshuffles earlier draws.
+    * Per-rank sizes are lognormal with mean ``mean_mb_per_rank`` MiB —
+      a narrow spread for the fixed mixes, a fat tail (sigma 1.4) plus
+      occasional full-width giants for the ``cloud`` mix.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if mix not in MIXES:
+        raise ValueError(f"unknown mix {mix!r}; valid: {list(MIXES)}")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if mean_mb_per_rank <= 0:
+        raise ValueError("mean_mb_per_rank must be positive")
+    if max_ranks < 1:
+        raise ValueError("max_ranks must be >= 1")
+    if compute_seconds < 0:
+        raise ValueError("compute_seconds must be >= 0")
+
+    rng = StreamRNG(seed)
+    arrivals = rng.stream("trace.arrival")
+    heavy = mix == "cloud"
+    sigma = _SIGMA_HEAVY if heavy else _SIGMA_NARROW
+    # mu chosen so the lognormal has mean 1 regardless of sigma.
+    mu = -0.5 * sigma * sigma
+
+    out: List[Job] = []
+    t = 0.0
+    for i in range(jobs):
+        t += float(arrivals.exponential(1.0 / arrival_rate))
+        s = rng.stream(f"trace.job.{i}")
+        # Fixed draw order — see docstring.
+        if heavy:
+            u = float(s.random())
+            idx = 0
+            acc = 0.0
+            for idx, w in enumerate(_CLOUD_WEIGHTS):
+                acc += w
+                if u < acc:
+                    break
+            pattern = PATTERNS[idx]
+        else:
+            pattern = mix
+        nbytes = mean_mb_per_rank * MiB * float(s.lognormal(mu, sigma))
+        ranks = min(int(2 ** int(s.integers(0, 4))), max_ranks)
+        if heavy and float(s.random()) < _CLOUD_GIANT_FRACTION:
+            ranks = max_ranks
+            nbytes *= _CLOUD_GIANT_SCALE
+        compute = (float(s.exponential(compute_seconds))
+                   if compute_seconds > 0 else 0.0)
+        nbytes = max(float(int(nbytes)), _MIN_PHASE_BYTES)
+        out.append(Job(job_id=i, arrival=t, ranks=ranks, pattern=pattern,
+                       phases=_phases_for(pattern, nbytes, compute)))
+    return JobTrace(jobs=tuple(out), mix=mix, seed=seed)

@@ -1,0 +1,224 @@
+"""Pluggable burst-buffer storage schedulers (docs/MODEL.md §10).
+
+The workload engine splits the schedulable burst-buffer capacity into a
+fixed number of equal :class:`BBPool` shards (the virtual allocation
+targets, DynoStore-style) and asks a :class:`StorageScheduler` where —
+and whether — to place each job's reservation.  The scheduler answers
+with an :class:`Allocation` or ``None`` ("keep the job queued"); the
+engine owns all bookkeeping (pool charge/credit, admission order, the
+per-program byte quota handed to the DHP layer).
+
+Plugin protocol
+---------------
+A strategy is a class with:
+
+* a unique ``name`` class attribute (the registry key),
+* ``__init__(self, *, rng=None, params=None)`` — ``rng`` is a seeded
+  ``numpy`` generator (only source of randomness a strategy may use;
+  anything else breaks replay determinism), ``params`` a str->value
+  mapping from ``WorkloadSpec.strategy_params``,
+* ``allocate(self, job, request, pools)`` returning an
+  :class:`Allocation` with ``nbytes <= request`` into a pool with
+  ``free >= nbytes``, or ``None`` to defer the job.  ``pools`` is
+  read-only and always ordered by ``pool_id``; ``allocate`` is called
+  again for the same job after every completion, so deferring is cheap.
+
+Register with the decorator::
+
+    from repro.workloads import StorageScheduler, register_strategy
+
+    @register_strategy
+    class Widest(StorageScheduler):
+        name = "widest"
+        def allocate(self, job, request, pools):
+            ...
+
+after which ``WorkloadSpec(strategy="widest")`` resolves it by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Set, Type
+
+__all__ = [
+    "Allocation",
+    "BBPool",
+    "StorageScheduler",
+    "available_strategies",
+    "make_strategy",
+    "register_strategy",
+]
+
+
+@dataclass
+class BBPool:
+    """One virtual burst-buffer capacity shard (engine-owned state)."""
+
+    pool_id: int
+    capacity: float
+    allocated: float = 0.0
+    #: job_ids currently holding a reservation in this pool.
+    active_jobs: Set[int] = field(default_factory=set)
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.allocated
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A strategy's placement decision for one job."""
+
+    job_id: int
+    pool_id: int
+    nbytes: float
+
+    def __post_init__(self):
+        if self.nbytes <= 0:
+            raise ValueError("allocation must be positive")
+
+
+class StorageScheduler:
+    """Base class for burst-buffer allocation strategies."""
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    def __init__(self, *, rng=None, params: Optional[Mapping] = None):
+        self.rng = rng
+        self.params = dict(params or {})
+
+    def allocate(self, job, request: float, pools: Sequence[BBPool]
+                 ) -> Optional[Allocation]:
+        raise NotImplementedError
+
+    def _eligible(self, request: float, pools: Sequence[BBPool]):
+        return [p for p in pools if p.free >= request]
+
+
+_REGISTRY: Dict[str, Type[StorageScheduler]] = {}
+
+
+def register_strategy(cls: Type[StorageScheduler]
+                      ) -> Type[StorageScheduler]:
+    """Class decorator: add a scheduler to the by-name registry."""
+    name = getattr(cls, "name", "")
+    if not name or not isinstance(name, str):
+        raise TypeError(f"{cls.__name__} needs a non-empty 'name' "
+                        "class attribute")
+    if not callable(getattr(cls, "allocate", None)):
+        raise TypeError(f"{cls.__name__} does not implement allocate()")
+    current = _REGISTRY.get(name)
+    if current is not None and current is not cls:
+        raise ValueError(f"storage scheduler {name!r} already registered "
+                         f"by {current.__name__}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def make_strategy(name: str, *, rng=None,
+                  params: Optional[Mapping] = None) -> StorageScheduler:
+    """Instantiate a registered strategy by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown storage scheduler {name!r}; "
+            f"registered: {sorted(_REGISTRY)}") from None
+    return cls(rng=rng, params=params)
+
+
+def available_strategies() -> list:
+    return sorted(_REGISTRY)
+
+
+# -- built-ins ----------------------------------------------------------------
+
+@register_strategy
+class RoundRobinScheduler(StorageScheduler):
+    """First fit from a rotating cursor.
+
+    Load concentrates on few pools while the cursor advances, leaving
+    whole pools empty — which is exactly what lets heavy-tail giant
+    requests through (the classic first-fit vs worst-fit trade-off).
+    """
+
+    name = "round_robin"
+
+    def __init__(self, *, rng=None, params=None):
+        super().__init__(rng=rng, params=params)
+        self._cursor = 0
+
+    def allocate(self, job, request, pools):
+        n = len(pools)
+        for i in range(n):
+            pool = pools[(self._cursor + i) % n]
+            if pool.free >= request:
+                self._cursor = (pool.pool_id + 1) % n
+                return Allocation(job.job_id, pool.pool_id, request)
+        return None
+
+
+@register_strategy
+class WorstFitScheduler(StorageScheduler):
+    """Place into the pool with the most free capacity.
+
+    Spreads load evenly — good mean queue wait for uniform jobs, but the
+    even loading leaves no pool with room for a giant request, so
+    heavy-tail jobs starve behind it.
+    """
+
+    name = "worst_fit"
+
+    def allocate(self, job, request, pools):
+        eligible = self._eligible(request, pools)
+        if not eligible:
+            return None
+        pool = min(eligible, key=lambda p: (-p.free, p.pool_id))
+        return Allocation(job.job_id, pool.pool_id, request)
+
+
+@register_strategy
+class RandomScheduler(StorageScheduler):
+    """Uniform random choice among pools that fit (seeded; the engine
+    hands every instance its own named RNG stream, so replays are
+    bit-identical)."""
+
+    name = "random"
+
+    def allocate(self, job, request, pools):
+        eligible = self._eligible(request, pools)
+        if not eligible:
+            return None
+        if self.rng is None:
+            raise RuntimeError("random strategy needs an rng")
+        pool = eligible[int(self.rng.integers(0, len(eligible)))]
+        return Allocation(job.job_id, pool.pool_id, request)
+
+
+@register_strategy
+class InterferenceAwareScheduler(StorageScheduler):
+    """Fewest-co-tenants placement with a per-pool concurrency cap.
+
+    Chooses the eligible pool with the fewest active jobs (ties: most
+    free, then lowest id) and refuses to co-schedule more than
+    ``interference_limit`` jobs per pool (param, default 2): a job that
+    would exceed the cap waits instead.  Trades queue wait for lower
+    in-service interference — concurrent jobs share real burst-buffer
+    bandwidth in the machine model, so fewer co-tenants means lower
+    stretch.
+    """
+
+    name = "interference_aware"
+
+    def allocate(self, job, request, pools):
+        eligible = self._eligible(request, pools)
+        if not eligible:
+            return None
+        pool = min(eligible,
+                   key=lambda p: (len(p.active_jobs), -p.free, p.pool_id))
+        limit = int(self.params.get("interference_limit", 2))
+        if limit > 0 and len(pool.active_jobs) >= limit:
+            return None
+        return Allocation(job.job_id, pool.pool_id, request)

@@ -653,3 +653,85 @@ class TestPartitionInjection:
             "partition@0.5:servers=2,duration=0.1"))
         assert [f.kind for f in injector.timeline] == ["partition", "partition"]
         sim.run()
+
+
+class TestRandomPartitions:
+    """Seeded exponential partition arrivals (``random:partition_rate``).
+
+    Random cuts are *skipped at runtime* when they land on an already-
+    partitioned server — unlike explicit cuts, which the injector still
+    rejects at arm time — so a probabilistic campaign never aborts on an
+    unlucky seed.
+    """
+
+    def _system(self, **config_kw):
+        sim, comm = setup(nodes=3, metadata_replication=2,
+                          health_enabled=True, recovery_enabled=True,
+                          **config_kw)
+        return sim, comm, sim.univistor
+
+    def test_partition_knobs_parse(self):
+        spec = FaultSpec.parse("random:partition_rate=2.0,"
+                               "partition_duration=0.4,"
+                               "partition_mode=oneway,horizon=3.0")
+        assert spec.partition_rate == 2.0
+        assert spec.partition_duration == 0.4
+        assert spec.partition_mode == "oneway"
+
+    def test_bad_partition_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown partition mode"):
+            FaultSpec.parse("random:partition_rate=1.0,"
+                            "partition_mode=diagonal")
+
+    def test_timeline_has_seeded_partitions(self):
+        sim, comm, system = self._system()
+        spec = FaultSpec.parse("random:partition_rate=2.0,"
+                               "partition_duration=0.4,horizon=3.0")
+        injector = sim.install_faults(spec, seed=3)
+        cuts = [f for f in injector.timeline if f.kind == "partition"]
+        assert cuts
+        assert all(len(f.servers) == 1 for f in cuts)
+        # Same seed, fresh system: identical timeline.
+        sim2, _, _ = self._system()
+        injector2 = sim2.install_faults(spec, seed=3)
+        assert [f.describe() for f in injector2.timeline] \
+            == [f.describe() for f in injector.timeline]
+        # Different seed: different arrivals.
+        sim3, _, _ = self._system()
+        injector3 = sim3.install_faults(spec, seed=4)
+        assert [f.describe() for f in injector3.timeline] \
+            != [f.describe() for f in injector.timeline]
+
+    def test_colliding_random_cuts_skipped_at_runtime(self):
+        sim, comm, system = self._system()
+        write_blocks(sim, comm, "/f")
+        # Rate high enough that some arrivals land mid-cut.
+        sim.install_faults(FaultSpec.parse(
+            "random:partition_rate=4.0,partition_duration=0.5,horizon=2.0"),
+            seed=1)
+        sim.run()
+        ops = telemetry_ops(sim)
+        assert "fault-partition" in ops
+        assert "fault-partition-skipped" in ops
+        # Every applied cut healed; skipped ones never double-cut.
+        assert system.partitioned_servers == set()
+
+    def test_random_plus_explicit_arms_fine(self):
+        # The arm-time overlap check covers explicit events only; the
+        # random arrivals around this cut resolve by runtime skipping.
+        sim, comm, system = self._system()
+        injector = sim.install_faults(FaultSpec.parse(
+            "partition@0.5:servers=0,duration=0.5;"
+            "random:partition_rate=4.0,partition_duration=0.5,horizon=2.0"),
+            seed=1)
+        assert any(f.kind == "partition" and f.servers == (0,)
+                   for f in injector.timeline)
+        sim.run()
+        assert system.partitioned_servers == set()
+
+    def test_explicit_overlap_still_rejected(self):
+        # The arm-time check did not relax for explicit events: two
+        # simultaneously active cuts sharing a server stay an error.
+        with pytest.raises(ValueError, match="overlapping partition groups"):
+            FaultSpec.parse("partition@0.5:servers=0,duration=2;"
+                            "partition@1:servers=0+1,duration=1")

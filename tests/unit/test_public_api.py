@@ -18,6 +18,9 @@ PUBLIC = [
     "Table",
     "Telemetry",
     "UniviStorConfig",
+    "WorkloadSpec",
+    "run_experiment",
+    "run_trace",
 ]
 
 
@@ -104,3 +107,47 @@ class TestInstallDataElevatorForms:
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):
             DataElevatorConfig(servers_per_node=0)
+
+
+class TestSignatureSnapshots:
+    """Pinned call signatures for the stable surface.
+
+    A drifted snapshot means a breaking API change: either restore the
+    signature or update this test *and* docs/API.md together.
+    """
+
+    def test_run_trace_signature(self):
+        import inspect
+        assert str(inspect.signature(repro.run_trace)) == (
+            "(trace: 'Union[JobTrace, str, os.PathLike]', *, "
+            "spec: 'Optional[WorkloadSpec]' = None) -> 'TraceResult'")
+
+    def test_run_experiment_signature(self):
+        import inspect
+        assert str(inspect.signature(repro.run_experiment)) == (
+            "(name: 'str', config: 'Optional[Mapping]' = None)")
+
+    def test_workload_spec_fields(self):
+        import dataclasses
+        assert tuple(f.name for f in
+                     dataclasses.fields(repro.WorkloadSpec)) == (
+            "machine", "nodes", "procs_per_node", "system", "config",
+            "chunk_size", "strategy", "strategy_params", "bb_pools",
+            "bb_fraction", "max_concurrent", "jobs", "mix", "arrival_rate",
+            "mean_mb_per_rank", "max_ranks", "compute_seconds", "seed",
+            "fault_spec", "fault_seed", "verify_reads")
+
+    def test_workload_spec_is_kw_only(self):
+        with pytest.raises(TypeError):
+            repro.WorkloadSpec("small")
+
+    def test_univistor_config_field_superset(self):
+        """Config fields may grow (defaults keep old calls working) but
+        the existing names must never disappear or reorder."""
+        import dataclasses
+        names = tuple(f.name for f in
+                      dataclasses.fields(repro.UniviStorConfig))
+        for required in ("servers_per_node", "chunk_size", "cache_tiers",
+                         "flush_enabled", "adaptive_striping",
+                         "metadata_replication", "bb_quota_enforced"):
+            assert required in names

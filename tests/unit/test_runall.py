@@ -10,12 +10,18 @@ from repro.analysis.report import Table
 
 class TestFigureRegistry:
     def test_all_ten_figures_registered(self):
-        ids = [fig_id for fig_id, _r, _c in FIGURES]
+        ids = [fig_id for fig_id, _checks in FIGURES]
         assert ids == ["fig5a", "fig5b", "fig5c", "fig6a", "fig6b",
                        "fig6c", "fig7", "fig8", "fig9", "fig10"]
 
+    def test_every_figure_resolves_in_the_experiment_registry(self):
+        from repro.experiments import list_experiments
+        registered = list_experiments()
+        for fig_id, _checks in FIGURES:
+            assert fig_id in registered
+
     def test_every_figure_has_checks(self):
-        for fig_id, _runner, checks in FIGURES:
+        for fig_id, checks in FIGURES:
             assert checks, f"{fig_id} has no ratio checks"
             for num, den, _inv, paper in checks:
                 assert isinstance(paper, str) and "x" in paper

@@ -1,0 +1,296 @@
+"""Unit tests for the multi-job workload engine (ISSUE 7).
+
+Covers the job/trace model, the storage-scheduler registry (including
+the plugin entry point), WorkloadSpec validation, burst-buffer quota
+wiring, and the admission mechanics: capacity exhaustion must queue
+jobs rather than drop or overcommit them.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.spec import MachineSpec
+from repro.core.config import UniviStorConfig
+from repro.simulation import Simulation
+from repro.units import KiB, MiB
+from repro.workloads.engine import (DEFAULT_STRATEGIES, WorkloadEngine,
+                                    WorkloadSpec, compare_strategies,
+                                    run_trace)
+from repro.workloads.jobs import (Job, JobPhase, JobTrace, generate_trace)
+from repro.workloads.strategies import (Allocation, BBPool, StorageScheduler,
+                                        available_strategies, make_strategy,
+                                        register_strategy)
+
+SMALL = WorkloadSpec(jobs=8, seed=5, arrival_rate=8.0, mean_mb_per_rank=4.0)
+
+
+class TestJobModel:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError, match="unknown phase kind"):
+            JobPhase("scribble", nbytes_per_rank=1.0)
+        with pytest.raises(ValueError, match="carry no bytes"):
+            JobPhase("compute", nbytes_per_rank=1.0, seconds=1.0)
+        with pytest.raises(ValueError, match="no compute seconds"):
+            JobPhase("write", nbytes_per_rank=1.0, seconds=1.0)
+
+    def test_job_aggregates(self):
+        job = Job(job_id=3, arrival=1.0, ranks=4, pattern="write_heavy",
+                  phases=(JobPhase("write", nbytes_per_rank=MiB),
+                          JobPhase("compute", seconds=0.5),
+                          JobPhase("read", nbytes_per_rank=2 * MiB)))
+        assert job.name == "job0003"
+        assert job.write_bytes == 4 * MiB
+        assert job.read_bytes == 8 * MiB
+        assert job.compute_seconds == 0.5
+        assert job.bb_request == job.write_bytes
+
+    def test_trace_sorts_and_rejects_duplicates(self):
+        a = Job(job_id=1, arrival=2.0, ranks=1, pattern="write_heavy",
+                phases=(JobPhase("write", nbytes_per_rank=KiB),))
+        b = Job(job_id=0, arrival=1.0, ranks=1, pattern="write_heavy",
+                phases=(JobPhase("write", nbytes_per_rank=KiB),))
+        trace = JobTrace(jobs=(a, b))
+        assert [j.job_id for j in trace.jobs] == [0, 1]
+        with pytest.raises(ValueError, match="duplicate job_id"):
+            JobTrace(jobs=(a, a))
+
+
+class TestTraceGeneration:
+    def test_same_seed_is_bit_identical(self):
+        one = generate_trace(jobs=20, seed=9)
+        two = generate_trace(jobs=20, seed=9)
+        assert one.to_json() == two.to_json()
+
+    def test_different_seed_differs(self):
+        assert (generate_trace(jobs=20, seed=9).to_json()
+                != generate_trace(jobs=20, seed=10).to_json())
+
+    def test_cloud_mix_is_heavy_tailed(self):
+        trace = generate_trace(jobs=200, mix="cloud", seed=0)
+        sizes = sorted(j.write_bytes for j in trace.jobs)
+        # Top decile should dominate: heavy tail, not a narrow lognormal.
+        top = sum(sizes[-20:])
+        assert top > 0.4 * sum(sizes)
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError, match="unknown mix"):
+            generate_trace(jobs=5, mix="bogus")
+
+    def test_json_round_trip(self):
+        trace = generate_trace(jobs=15, seed=4)
+        assert JobTrace.from_json(trace.to_json()) == trace
+
+    def test_csv_round_trip(self):
+        # CSV carries only the job columns, not the mix/seed metadata.
+        trace = generate_trace(jobs=15, seed=4)
+        assert JobTrace.from_csv(trace.to_csv()).jobs == trace.jobs
+
+    def test_save_load_by_extension(self, tmp_path):
+        trace = generate_trace(jobs=6, seed=2)
+        for name in ("t.json", "t.csv"):
+            path = tmp_path / name
+            trace.save(path)
+            assert JobTrace.load(path).jobs == trace.jobs
+
+
+class TestStrategyRegistry:
+    def test_builtins_registered(self):
+        assert set(DEFAULT_STRATEGIES) <= set(available_strategies())
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="unknown storage scheduler "
+                                             "'bogus'"):
+            make_strategy("bogus")
+
+    def test_reregistration_by_different_class_rejected(self):
+        class Impostor(StorageScheduler):
+            name = "round_robin"
+
+            def allocate(self, job, request, pools):
+                return None
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy(Impostor)
+
+    def test_nameless_class_rejected(self):
+        class NoName(StorageScheduler):
+            def allocate(self, job, request, pools):
+                return None
+
+        with pytest.raises(TypeError, match="non-empty 'name'"):
+            register_strategy(NoName)
+
+    def test_plugin_entry_point(self):
+        """A third-party scheduler slots in through register_strategy."""
+
+        @register_strategy
+        class FirstFit(StorageScheduler):
+            name = "test_first_fit"
+
+            def allocate(self, job, request, pools):
+                for pool in self._eligible(request, pools):
+                    return Allocation(job.job_id, pool.pool_id, request)
+                return None
+
+        try:
+            assert "test_first_fit" in available_strategies()
+            spec = dataclasses.replace(SMALL, strategy="test_first_fit")
+            result = run_trace(spec.generate(), spec=spec)
+            assert len(result.jobs) == spec.jobs
+        finally:
+            from repro.workloads import strategies
+            strategies._REGISTRY.pop("test_first_fit")
+
+
+class TestBuiltinStrategyBehaviour:
+    def _pools(self):
+        # pool 1 is emptiest, pool 2 is busiest.
+        a = BBPool(0, capacity=100.0, allocated=50.0)
+        b = BBPool(1, capacity=100.0, allocated=10.0)
+        c = BBPool(2, capacity=100.0, allocated=90.0)
+        c.active_jobs.update({10, 11})
+        return [a, b, c]
+
+    def _job(self):
+        return Job(job_id=0, arrival=0.0, ranks=1, pattern="write_heavy",
+                   phases=(JobPhase("write", nbytes_per_rank=KiB),))
+
+    def test_worst_fit_picks_emptiest(self):
+        alloc = make_strategy("worst_fit").allocate(self._job(), 20.0,
+                                                    self._pools())
+        assert alloc.pool_id == 1
+
+    def test_round_robin_rotates(self):
+        strategy = make_strategy("round_robin")
+        first = strategy.allocate(self._job(), 20.0, self._pools())
+        second = strategy.allocate(self._job(), 20.0, self._pools())
+        assert (first.pool_id, second.pool_id) == (0, 1)
+
+    def test_interference_aware_avoids_crowds_and_defers(self):
+        strategy = make_strategy("interference_aware")
+        alloc = strategy.allocate(self._job(), 5.0, self._pools())
+        assert alloc.pool_id in (0, 1)  # never the crowded pool 2
+        crowded = [self._pools()[2]]
+        assert strategy.allocate(self._job(), 5.0, crowded) is None
+
+    def test_oversized_request_defers(self):
+        assert make_strategy("worst_fit").allocate(
+            self._job(), 1000.0, self._pools()) is None
+
+    def test_random_needs_rng(self):
+        with pytest.raises(RuntimeError, match="rng"):
+            make_strategy("random").allocate(self._job(), 5.0, self._pools())
+
+
+class TestWorkloadSpec:
+    def test_rejects_unknown_machine_system_and_bad_knobs(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            WorkloadSpec(machine="cray")
+        with pytest.raises(ValueError, match="unknown system"):
+            WorkloadSpec(system="Lustre")
+        with pytest.raises(ValueError, match="bb_fraction"):
+            WorkloadSpec(bb_fraction=0.0)
+        with pytest.raises(ValueError, match="bb_pools"):
+            WorkloadSpec(bb_pools=0)
+
+    def test_kw_only(self):
+        with pytest.raises(TypeError):
+            WorkloadSpec("small")
+
+    def test_mapping_params_normalised_hashable(self):
+        spec = WorkloadSpec(strategy_params={"b": 2.0, "a": 1.0})
+        assert spec.strategy_params == (("a", 1.0), ("b", 2.0))
+        hash(spec)
+
+    def test_config_override_beats_system(self):
+        cfg = UniviStorConfig.dram_only()
+        spec = WorkloadSpec(system="UniviStor/BB", config=cfg)
+        assert spec.univistor_config() is cfg
+
+
+class TestAdmission:
+    def test_engine_is_one_shot_and_wants_jobtrace(self):
+        trace = SMALL.generate()
+        engine = WorkloadEngine(trace, SMALL)
+        engine.run()
+        with pytest.raises(RuntimeError, match="one-shot"):
+            engine.run()
+        with pytest.raises(TypeError, match="JobTrace"):
+            WorkloadEngine("/tmp/nope.json", SMALL)
+
+    def test_too_wide_job_rejected_up_front(self):
+        job = Job(job_id=0, arrival=0.0, ranks=64, pattern="write_heavy",
+                  phases=(JobPhase("write", nbytes_per_rank=KiB),))
+        with pytest.raises(ValueError, match="do not fit"):
+            WorkloadEngine(JobTrace(jobs=(job,)), SMALL)
+
+    def test_max_concurrent_queues_jobs(self):
+        spec = dataclasses.replace(SMALL, max_concurrent=1)
+        result = run_trace(spec.generate(), spec=spec)
+        assert result.counters.get("wl-queued", 0) > 0
+        assert result.max_queue_wait > 0
+        # Everyone still finishes, in admission order one at a time.
+        assert len(result.jobs) == spec.jobs
+
+    def test_capacity_exhaustion_queues_not_drops(self):
+        """Pools far smaller than the offered load: jobs must wait for
+        releases, never be dropped or overcommitted."""
+        spec = dataclasses.replace(SMALL, bb_fraction=0.002,
+                                   mean_mb_per_rank=8.0, arrival_rate=64.0)
+        result = run_trace(spec.generate(), spec=spec)
+        assert len(result.jobs) == spec.jobs
+        assert result.counters.get("wl-queued", 0) > 0
+        assert result.counters["wl-complete"] == spec.jobs
+
+    def test_quota_grants_flow_to_dhp(self):
+        result = run_trace(SMALL.generate(), spec=SMALL)
+        assert result.counters["wl-bb-granted-bytes"] > 0
+        assert result.counters["wl-admit"] == SMALL.jobs
+
+    def test_run_to_run_digest_identical(self):
+        trace = SMALL.generate()
+        first = run_trace(trace, spec=SMALL)
+        second = run_trace(trace, spec=SMALL)
+        assert first.digest == second.digest
+        assert first.jobs == second.jobs
+
+    def test_compare_strategies_repeats_and_unknown(self):
+        trace = SMALL.generate()
+        results = compare_strategies(trace, spec=SMALL,
+                                     strategies=("round_robin", "worst_fit"),
+                                     repeats=2)
+        assert set(results) == {"round_robin", "worst_fit"}
+        with pytest.raises(ValueError, match="unknown storage scheduler"):
+            compare_strategies(trace, spec=SMALL, strategies=("bogus",))
+
+
+class TestQuotaEnforcement:
+    def _log_cap(self, quota_enforced, quota):
+        from repro.core import StorageTier
+        sim = Simulation(MachineSpec.small_test(nodes=2))
+        system = sim.install_univistor(UniviStorConfig.bb_only(
+            chunk_size=MiB, bb_quota_enforced=quota_enforced))
+        comm = sim.comm("app", size=4)
+        if quota is not None:
+            system.set_bb_quota("app", quota)
+        return system._log_capacity(StorageTier.SHARED_BB, None, comm)
+
+    def test_quota_shrinks_per_process_log(self):
+        base = self._log_cap(True, None)
+        capped = self._log_cap(True, 8 * MiB)
+        assert capped < base
+        assert capped == 2 * MiB  # 8 MiB quota / 4 ranks
+
+    def test_ablation_flag_disables_enforcement(self):
+        assert self._log_cap(False, 8 * MiB) == self._log_cap(False, None)
+
+    def test_quota_validation_and_revocation(self):
+        sim = Simulation(MachineSpec.small_test(nodes=2))
+        system = sim.install_univistor(UniviStorConfig.bb_only())
+        with pytest.raises(ValueError):
+            system.set_bb_quota("app", 0)
+        system.set_bb_quota("app", MiB)
+        assert system.bb_quota["app"] == MiB
+        system.set_bb_quota("app", None)
+        assert "app" not in system.bb_quota
