@@ -49,14 +49,16 @@ BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks",
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_simulator.json")
 
 #: The benches whose trajectory gates hot-path PRs: the two original
-#: trajectory points (ISSUE 2), the metadata fast-path pair (ISSUE 5)
-#: and the multi-job admission path (ISSUE 7, non-gating).
+#: trajectory points (ISSUE 2), the metadata fast-path pair (ISSUE 5),
+#: the multi-job admission path (ISSUE 7, non-gating) and the hot-range
+#: mitigation payoff (ISSUE 8; asserts the >= 2x simulated speedup).
 QUICK_BENCHES = [
     "test_event_loop_throughput",
     "test_micro_1024_procs_wall_time",
     "test_metadata_insert_throughput",
     "test_cached_read_latency",
     "test_multi_job_throughput",
+    "test_hot_range_throughput",
 ]
 
 #: Excluded from the default run: the paper's largest scale is minutes of
@@ -83,13 +85,16 @@ def host_info() -> dict:
 
 
 def run_pytest_benchmark(selection: str, json_path: str,
-                         fastpath_off: bool = False) -> int:
+                         fastpath_off: bool = False,
+                         hotspot_off: bool = False) -> int:
     env = dict(os.environ)
     src = os.path.join(REPO_ROOT, "src")
     env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
                          if env.get("PYTHONPATH") else src)
     if fastpath_off:
         env["REPRO_META_FASTPATH"] = "0"
+    if hotspot_off:
+        env["REPRO_HOTSPOT"] = "0"
     cmd = [
         sys.executable, "-m", "pytest", BENCH_FILE, "-q",
         "--benchmark-json", json_path,
@@ -170,6 +175,10 @@ def main(argv=None) -> int:
                         help="run with REPRO_META_FASTPATH=0 (legacy "
                              "metadata plane) — records the 'before' "
                              "point of a fast-path comparison pair")
+    parser.add_argument("--hotspot-off", action="store_true",
+                        help="run with REPRO_HOTSPOT=0 (static range "
+                             "layout) — records the 'before' point of "
+                             "the hot-range mitigation pair")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -183,7 +192,8 @@ def main(argv=None) -> int:
         json_path = tmp.name
     try:
         rc = run_pytest_benchmark(selection, json_path,
-                                  fastpath_off=args.fastpath_off)
+                                  fastpath_off=args.fastpath_off,
+                                  hotspot_off=args.hotspot_off)
         if rc != 0:
             print(f"benchmark suite failed (exit {rc})", file=sys.stderr)
             return rc

@@ -11,11 +11,14 @@ import os
 
 import numpy as np
 
-from repro.core.config import StorageTier
+from repro.cluster.spec import MachineSpec
+from repro.core.config import StorageTier, UniviStorConfig
 from repro.core.location_cache import LocationCache
 from repro.core.metadata import MetadataRecord, MetadataService
 from repro.experiments.common import build_simulation
 from repro.sim import BandwidthResource, Engine
+from repro.simmpi.mpiio import IORequest
+from repro.simulation import Simulation
 from repro.storage.datamodel import ExtentMap, PatternPayload
 from repro.units import KiB, MiB
 from repro.workloads import MicroBench
@@ -27,6 +30,13 @@ def _fastpath_on() -> bool:
     no location cache), so a trajectory file can hold a directly
     comparable before/after pair recorded from the same tree."""
     return os.environ.get("REPRO_META_FASTPATH", "1") != "0"
+
+
+def _hotspot_on() -> bool:
+    """The hot-range bench honors ``REPRO_HOTSPOT=0`` to emulate the
+    static range layout (no split/merge, no elastic pool), so the
+    trajectory file holds a before/after pair for the mitigation."""
+    return os.environ.get("REPRO_HOTSPOT", "1") != "0"
 
 
 class TestKernelThroughput:
@@ -157,6 +167,69 @@ class TestMetadataFastPath:
             return total
 
         assert benchmark(run) > 0
+
+
+class TestHotRangeThroughput:
+    """Simulated payoff of the adaptive hotspot mitigation
+    (docs/MODEL.md §11): every rank hammers a small slot inside ONE
+    64 KiB metadata range, so the static layout serializes each
+    collective on the range's replica set while the mitigation splits
+    the range across the (elastically grown) server pool."""
+
+    RANKS = 6
+    WAVES = 60
+    SLOTS_PER_RANK = 8
+    SLOT = 512
+
+    def _run_skewed(self, adaptive):
+        """Returns the simulated hot-phase throughput (bytes/s)."""
+        config = UniviStorConfig.hardened(
+            metadata_range_size=float(64 * KiB),
+            journal_checkpoint=2,
+            hotspot_enabled=adaptive,
+            range_split_threshold=8,
+            range_merge_threshold=0,
+            hotspot_interval=0.002,
+            pool_max_servers=8)
+        sim = Simulation(MachineSpec.small_test(nodes=3))
+        sim.install_univistor(config)
+        comm = sim.comm("hot", self.RANKS, procs_per_node=2)
+        n_slots = self.RANKS * self.SLOTS_PER_RANK
+        stride = int(64 * KiB) // n_slots
+        elapsed = {}
+
+        def app():
+            fh = yield from sim.open(comm, "/hot", "w",
+                                     fstype="univistor")
+            start = sim.now
+            for wave in range(self.WAVES):
+                yield from fh.write_at_all([
+                    IORequest(r, (r * self.SLOTS_PER_RANK + k) * stride,
+                              self.SLOT,
+                              PatternPayload(wave * n_slots + r + k))
+                    for r in range(comm.size)
+                    for k in range(self.SLOTS_PER_RANK)])
+            elapsed["hot"] = sim.now - start
+            yield from fh.close()
+            yield from fh.sync()
+
+        sim.run_to_completion(app())
+        sim.run()
+        return self.WAVES * n_slots * self.SLOT / elapsed["hot"]
+
+    def test_hot_range_throughput(self, benchmark):
+        """Skewed overwrite waves into one range; with the mitigation on
+        the simulated hot-range throughput must be at least 2x the
+        static layout's."""
+        adaptive = benchmark.pedantic(self._run_skewed,
+                                      args=(_hotspot_on(),),
+                                      rounds=3, iterations=1)
+        benchmark.extra_info["simulated_bytes_per_sec"] = adaptive
+        if _hotspot_on():
+            static = self._run_skewed(False)
+            assert adaptive >= 2.0 * static, (
+                f"hot-range mitigation payoff below 2x: "
+                f"{adaptive / static:.2f}x")
 
 
 class TestFullStackThroughput:

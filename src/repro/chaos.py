@@ -57,8 +57,23 @@ _STORM_WINDOW = 0.3
 _SETTLE = 0.6
 #: Chaos mixes: ``storm`` is the crash/outage/corruption schedule;
 #: ``partition`` swaps in network cuts with a mid-partition overwrite
-#: phase that probes quorum admission and stale-read fencing.
-MIXES = ("storm", "partition")
+#: phase that probes quorum admission and stale-read fencing;
+#: ``hotspot`` hammers one metadata range with skewed overwrite waves
+#: while cuts and crashes land mid-split/mid-migration, probing the
+#: adaptive mitigation layer (docs/MODEL.md §11).
+MIXES = ("storm", "partition", "hotspot")
+#: Hotspot-mix skew: every rank overwrites a small slot inside ONE
+#: 64 KiB metadata range (the range right after the cold blocks), slots
+#: strided across the range so splitting actually spreads the load.
+HOT_SLOT = int(4 * KiB)
+_HOT_PROCS = NODES * PROCS_PER_NODE
+HOT_BASE = _HOT_PROCS * BLOCK
+_HOT_STRIDE = BLOCK // _HOT_PROCS
+#: Overwrite waves after the seeding write, and the gap between them
+#: (the gap exceeds ``hotspot_interval`` so the manager ticks between
+#: waves and splits land *inside* the storm).
+_HOT_WAVES = 5
+_HOT_WAVE_GAP = 0.06
 
 
 @dataclass
@@ -70,9 +85,10 @@ class ChaosRunResult:
     mix: str = "storm"
     reads_ok: int = 0
     reads_lost: int = 0
-    #: Mid-partition overwrite outcomes (``partition`` mix only): a
-    #: write either commits on a majority or is rejected whole with a
-    #: structured error — ``writes_lost`` counts honest rejections.
+    #: Mid-storm overwrite outcomes (``partition`` and ``hotspot``
+    #: mixes): a write either commits on a majority or is rejected whole
+    #: with a structured error — ``writes_lost`` counts honest
+    #: rejections.
     writes_ok: int = 0
     writes_lost: int = 0
     #: Invariant violations: silent wrong bytes or unexpected exceptions.
@@ -142,11 +158,21 @@ def _config(hardened: bool, mix: str = "storm") -> UniviStorConfig:
     ``servers_per_node`` = one copy per node, so cutting one node off
     still leaves a two-of-three majority), shortens the lease so fencing
     resolves inside the storm window, and turns on periodic rate-limited
-    scrubbing so deferral and resume paths get exercised."""
+    scrubbing so deferral and resume paths get exercised.
+
+    The ``hotspot`` mix additionally turns on the adaptive mitigation
+    layer with aggressive thresholds (so splits, merges and pool growth
+    all fire inside one short run) and the same three-way replication as
+    the partition mix, because its schedule also cuts nodes off."""
     kw = dict(metadata_range_size=float(64 * KiB), journal_checkpoint=2)
     if mix == "partition":
         kw.update(metadata_replication=3, lease_ttl=0.25,
                   scrub_interval=0.15, scrub_rate_limit=float(1024 * KiB))
+    elif mix == "hotspot":
+        kw.update(metadata_replication=3, lease_ttl=0.25,
+                  hotspot_enabled=True, range_split_threshold=6,
+                  range_merge_threshold=2, hotspot_interval=0.04,
+                  pool_max_servers=8)
     config = UniviStorConfig.hardened(**kw)
     if not hardened:
         config = config.without("health_enabled", "recovery_enabled",
@@ -266,6 +292,51 @@ def _partition_schedule(rng: StreamRNG, base: float, n_nodes: int,
     return FaultSpec(events=tuple(events))
 
 
+def _hotspot_schedule(rng: StreamRNG, base: float, n_nodes: int,
+                      n_servers: int, servers_per_node: int,
+                      lease_ttl: float) -> FaultSpec:
+    """Draw one storm aimed at the mitigation layer, starting at
+    ``base`` — which the caller sets to the start of the overwrite
+    waves, so cuts and crashes land while ranges are mid-split and the
+    pool is mid-growth.
+
+    Usually a partition (straddling ``lease_ttl`` like the partition
+    mix, so the minority side must *defer* splits rather than fork the
+    layout), often server crashes (a split sub-range member dying forces
+    the split-aware takeover refill), plus bounded silent rot.  No node
+    crashes: a node crash wipes the *data-plane* node-local copies of
+    the waves' overwrites, a pre-existing coherence gap orthogonal to
+    the metadata mitigation this mix targets (ROADMAP open item).
+    """
+    s = rng.stream("chaos.hotspot-schedule")
+
+    def when() -> float:
+        return base + float(s.uniform(0.01, _HOT_WAVES * _HOT_WAVE_GAP))
+
+    events: List[Fault] = []
+    if s.uniform() < 0.6:
+        victim = int(s.integers(n_nodes))
+        mode = "sym" if s.uniform() < 0.7 else "oneway"
+        events.append(Fault(at=when(), kind="partition", nodes=(victim,),
+                            mode=mode,
+                            duration=float(s.uniform(0.08,
+                                                     lease_ttl + 0.2))))
+    crashed: Optional[int] = None
+    if s.uniform() < 0.5:
+        crashed = int(s.integers(n_servers))
+        events.append(Fault(at=when(), kind="server-crash", target=crashed))
+    if s.uniform() < 0.25:
+        # A second crash on a different server: two split sub-range
+        # members dying probes the quorum floor of the refill.
+        other = (crashed + 1 + int(s.integers(n_servers - 1))) % n_servers \
+            if crashed is not None else int(s.integers(n_servers))
+        events.append(Fault(at=when(), kind="server-crash", target=other))
+    for _ in range(int(s.integers(2))):
+        events.append(Fault(at=when(), kind="data-corrupt",
+                            tier="shared_bb", nbytes=float(4 * KiB)))
+    return FaultSpec(events=tuple(events))
+
+
 def run_one(seed: int, hardened: bool = True,
             config: Optional[UniviStorConfig] = None,
             mix: str = "storm") -> ChaosRunResult:
@@ -288,12 +359,23 @@ def run_one(seed: int, hardened: bool = True,
                     procs_per_node=PROCS_PER_NODE)
     expected = {r: PatternPayload(r).materialize(0, BLOCK)
                 for r in range(comm.size)}
+    # Hotspot mix: each rank also owns a small slot inside ONE shared
+    # range (seeded before the storm so every slot has a committed
+    # baseline; the overwrite waves then update it when they commit).
+    hot_expected = {r: PatternPayload(50 + r).materialize(0, HOT_SLOT)
+                    for r in range(comm.size)} if mix == "hotspot" else {}
 
     def app():
         fh = yield from sim.open(comm, "/chaos", "w", fstype="univistor")
-        yield from fh.write_at_all([
+        seed_reqs = [
             IORequest.contiguous_block(r, BLOCK, PatternPayload(r))
-            for r in range(comm.size)])
+            for r in range(comm.size)]
+        if mix == "hotspot":
+            seed_reqs.extend(
+                IORequest(r, HOT_BASE + r * _HOT_STRIDE, HOT_SLOT,
+                          PatternPayload(50 + r))
+                for r in range(comm.size))
+        yield from fh.write_at_all(seed_reqs)
         yield from fh.close()
         yield from fh.sync()
 
@@ -302,6 +384,11 @@ def run_one(seed: int, hardened: bool = True,
                                        system.total_servers,
                                        system.config.servers_per_node,
                                        cfg.lease_ttl)
+        elif mix == "hotspot":
+            spec = _hotspot_schedule(rng, sim.now, NODES,
+                                     system.total_servers,
+                                     system.config.servers_per_node,
+                                     cfg.lease_ttl)
         else:
             spec = _schedule(rng, sim.now, NODES, system.total_servers,
                              system.config.servers_per_node)
@@ -349,6 +436,42 @@ def run_one(seed: int, hardened: bool = True,
                     f"{type(err).__name__}: {err}")
             yield sim.engine.timeout(0.5 * _STORM_WINDOW
                                      + _settle_for(cfg))
+        elif mix == "hotspot":
+            # Skewed overwrite waves: every rank hammers its slot in the
+            # shared hot range while the storm lands, driving the heat
+            # tracker past the split threshold mid-fault.  Quorum
+            # admission holds under mitigation exactly as it does under
+            # partitions: a wave write either commits on a majority (and
+            # ``hot_expected`` advances) or is rejected whole.
+            fh = yield from sim.open(comm, "/chaos", "w",
+                                     fstype="univistor")
+            for wave in range(1, _HOT_WAVES + 1):
+                for r in range(comm.size):
+                    pattern = PatternPayload(100 + wave * comm.size + r)
+                    try:
+                        yield from fh.write_at_all([IORequest(
+                            r, HOT_BASE + r * _HOT_STRIDE, HOT_SLOT,
+                            pattern)])
+                    except DataLossError:
+                        result.writes_lost += 1
+                        continue
+                    except Exception as err:  # noqa: BLE001 - invariant
+                        result.violations.append(
+                            f"rank {r}: hot overwrite unhandled "
+                            f"{type(err).__name__}: {err}")
+                        continue
+                    hot_expected[r] = pattern.materialize(0, HOT_SLOT)
+                    result.writes_ok += 1
+                yield sim.engine.timeout(_HOT_WAVE_GAP)
+            try:
+                yield from fh.close()
+                yield from fh.sync()
+            except DataLossError:
+                pass  # flush blocked by the storm; caches still serve
+            except Exception as err:  # noqa: BLE001 - the invariant
+                result.violations.append(
+                    f"hot close: unhandled {type(err).__name__}: {err}")
+            yield sim.engine.timeout(_settle_for(cfg))
         else:
             yield sim.engine.timeout(_STORM_WINDOW + _SETTLE)
         if system.scrub is not None:
@@ -378,6 +501,26 @@ def run_one(seed: int, hardened: bool = True,
                     f"rank {r}: silent corruption "
                     f"({sum(a != b for a, b in zip(blob, expected[r]))} "
                     f"wrong bytes)")
+        for r in (range(comm.size) if mix == "hotspot" else ()):
+            try:
+                data = yield from fh2.read_at_all([IORequest(
+                    r, HOT_BASE + r * _HOT_STRIDE, HOT_SLOT)])
+            except DataLossError:
+                result.reads_lost += 1
+                continue
+            except Exception as err:  # noqa: BLE001 - the invariant
+                result.violations.append(
+                    f"rank {r}: hot read unhandled "
+                    f"{type(err).__name__}: {err}")
+                continue
+            blob = b"".join(e.materialize() for e in data[r])
+            if blob == hot_expected[r]:
+                result.reads_ok += 1
+            else:
+                result.violations.append(
+                    f"rank {r}: hot-slot silent corruption/stale read "
+                    f"({sum(a != b for a, b in zip(blob, hot_expected[r]))}"
+                    f" wrong bytes)")
         yield from fh2.close()
 
     try:

@@ -6,7 +6,8 @@ Subcommands::
     repro micro     --procs N --system SYSTEM [--mb-per-proc M] [--read]
     repro vpic      --procs N --system SYSTEM [--steps S] [--compute SEC]
     repro workflow  --procs N --system SYSTEM [--steps S] [--overlap]
-    repro chaos     [--seeds N] [--first-seed S] [--mix storm|partition]
+    repro chaos     [--seeds N] [--first-seed S]
+                    [--mix storm|partition|hotspot]
                     [--baseline] [--jobs N] [--verbose] [--lease-ttl T]
                     [--heartbeat-interval T] [--suspect-heartbeats K]
                     [--dead-heartbeats K]
@@ -191,7 +192,11 @@ def cmd_chaos(args) -> int:
         ("heartbeat_interval", args.heartbeat_interval),
         ("suspect_heartbeats", args.suspect_heartbeats),
         ("dead_heartbeats", args.dead_heartbeats),
-        ("lease_ttl", args.lease_ttl)) if value is not None}
+        ("lease_ttl", args.lease_ttl),
+        ("range_split_threshold", args.split_threshold),
+        ("range_merge_threshold", args.merge_threshold),
+        ("hotspot_interval", args.hotspot_interval),
+        ("pool_max_servers", args.pool_max)) if value is not None}
     config = None
     if overrides:
         import dataclasses
@@ -205,9 +210,9 @@ def cmd_chaos(args) -> int:
           f"{mode} configuration, {args.mix} mix")
     print(f"  reads: {campaign.reads_ok}/{campaign.reads_total} correct "
           f"({campaign.success_rate:.2%}), {lost} structured losses")
-    if args.mix == "partition":
+    if args.mix in ("partition", "hotspot"):
         total_writes = campaign.writes_ok + campaign.writes_lost
-        print(f"  mid-partition overwrites: {campaign.writes_ok}/"
+        print(f"  mid-storm overwrites: {campaign.writes_ok}/"
               f"{total_writes} committed on a majority, "
               f"{campaign.writes_lost} rejected whole (quorum lost)")
     print(f"  invariant violations: {len(campaign.violations)}")
@@ -408,10 +413,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "(per-seed digests stay bit-identical to the "
                         "serial run)")
     p.add_argument("--mix", default="storm",
-                   choices=["storm", "partition"],
-                   help="fault mix: crash/outage/corruption storm, or "
+                   choices=["storm", "partition", "hotspot"],
+                   help="fault mix: crash/outage/corruption storm, "
                         "network partitions with a mid-cut overwrite "
-                        "phase (quorum + fencing probes)")
+                        "phase (quorum + fencing probes), or skewed "
+                        "hot-range overwrite waves under the adaptive "
+                        "split/merge mitigation")
+    p.add_argument("--split-threshold", type=int, default=None,
+                   metavar="OPS",
+                   help="override range_split_threshold (ops per "
+                        "interval before a hot range splits)")
+    p.add_argument("--merge-threshold", type=int, default=None,
+                   metavar="OPS",
+                   help="override range_merge_threshold (ops per "
+                        "interval below which a split range re-merges)")
+    p.add_argument("--hotspot-interval", type=float, default=None,
+                   metavar="SEC",
+                   help="override the mitigation manager's tick period")
+    p.add_argument("--pool-max", type=int, default=None, metavar="N",
+                   help="override pool_max_servers (elastic metadata "
+                        "pool ceiling; 0 disables growth)")
     p.add_argument("--heartbeat-interval", type=float, default=None,
                    metavar="SEC",
                    help="override the detector's heartbeat period "

@@ -165,6 +165,25 @@ class UniviStorConfig:
     #: takeover replay cost stops growing with session lifetime.
     #: 0 disables truncation (the journal grows unboundedly).
     journal_checkpoint: int = 0
+    #: Adaptive hotspot mitigation (docs/MODEL.md §11): a background
+    #: manager rolls per-range metadata activity into online range
+    #: splits/merges, read-hot re-replication, and elastic pool
+    #: grow/shrink.  Off (the default) keeps the static round-robin
+    #: assignment bit-identical.
+    hotspot_enabled: bool = False
+    #: Per-interval operation count above which a range is hot: a
+    #: write-hot range splits, a read-hot one re-replicates.
+    range_split_threshold: int = 32
+    #: Per-interval operation count below which a *split* range is cold;
+    #: two consecutive cold intervals merge it back (and idle grown
+    #: servers retire).  Must stay below the split threshold.
+    range_merge_threshold: int = 4
+    #: Seconds between hotspot-manager decision ticks.
+    hotspot_interval: float = 0.05
+    #: Ceiling on the elastic metadata pool (0 = never grow): the manager
+    #: adds servers only while a hot range has exhausted the pool's
+    #: fan-out and the pool is below this size.
+    pool_max_servers: int = 0
 
     @staticmethod
     def hardened(**kw) -> "UniviStorConfig":
@@ -204,6 +223,17 @@ class UniviStorConfig:
             raise ValueError("dead_heartbeats must be >= suspect_heartbeats")
         if self.journal_checkpoint < 0:
             raise ValueError("journal_checkpoint must be >= 0")
+        if self.range_split_threshold < 1:
+            raise ValueError("range_split_threshold must be >= 1")
+        if self.range_merge_threshold < 0:
+            raise ValueError("range_merge_threshold must be >= 0")
+        if self.range_merge_threshold >= self.range_split_threshold:
+            raise ValueError("range_merge_threshold must be below "
+                             "range_split_threshold")
+        if self.hotspot_interval <= 0:
+            raise ValueError("hotspot_interval must be positive")
+        if self.pool_max_servers < 0:
+            raise ValueError("pool_max_servers must be >= 0")
         if self.lease_ttl <= 0:
             raise ValueError("lease_ttl must be positive")
         if self.scrub_interval < 0:
@@ -255,7 +285,7 @@ class UniviStorConfig:
                  "resilience_enabled", "adaptive_placement",
                  "health_enabled", "recovery_enabled", "scrub_enabled",
                  "meta_batch", "location_cache", "meta_quorum",
-                 "bb_quota_enforced"}
+                 "bb_quota_enforced", "hotspot_enabled"}
         changes = {}
         for flag in flags:
             if flag not in valid:

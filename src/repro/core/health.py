@@ -77,6 +77,14 @@ class HealthMonitor:
         """Current lifecycle state of ``("node"|"server", id)``."""
         return self._states.get((kind, target), ALIVE)
 
+    def is_clean(self, server_id: int) -> bool:
+        """True when a server is plain alive — not suspect, dead, fenced,
+        or partitioned.  Membership changes (pool grow/shrink, split
+        targets) require a clean server: a suspect box must not join or
+        leave the pool while its liveness is in doubt."""
+        return (self.state_of("server", server_id) == ALIVE
+                and server_id not in self._partitioned)
+
     # -- crash notifications (called by UniviStorServers) ------------------
     def note_server_crash(self, server_id: int) -> None:
         """A server process stopped heartbeating: arm the detection timers."""

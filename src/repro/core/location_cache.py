@@ -120,12 +120,15 @@ class LocationCache:
         ``None`` when the file is not tracked (cache miss: consult the
         authoritative store).  An empty list on a tracked file is an
         authoritative hole, not a miss."""
+        if length <= 0:
+            # Degenerate request: nothing is resolved and no store search
+            # is avoided, so it must not count as a hit or a miss —
+            # counting before this validation inflated hit telemetry.
+            return [] if fid in self._tracked else None
         if fid not in self._tracked:
             self.misses += 1
             return None
         self.hits += 1
-        if length <= 0:
-            return []
         starts, recs = self._files[fid]
         end = offset + length
         lo = bisect.bisect_left(starts, offset)

@@ -37,6 +37,24 @@ replica of a range is alive to acknowledge, the range's journal folds
 into a compacted snapshot, so takeover replay cost stops growing with
 session lifetime).  All of it is timing-neutral: the simulated cost
 accounting is unchanged, only the simulator's own work shrinks.
+
+Hotspot mitigation (adaptive extension, docs/MODEL.md §11): a base
+offset range can be **split online** into contiguous sub-ranges with
+independent replica sets (:meth:`split_range` / :meth:`merge_range`), so
+a skewed workload's inserts and lookups spread over several servers
+instead of serialising on one owner.  The journal, checkpoints, epochs
+and the stale/fence table all stay **base-range granular** — a split
+range hands state off through exactly the journal-replay machinery a
+takeover uses, and fencing a server fences it for every sub-range it
+touches (conservative but always safe).  The server pool itself is
+**elastic**: :meth:`add_server` pins every data-bearing range's current
+assignment before extending the round-robin arithmetic, and
+:meth:`remove_server` drains a retiree's memberships through quorum-
+checked per-range migrations.  Read-hot ranges can be **re-replicated**
+(:meth:`set_read_spread`) with rotating replica selection to cut lookup
+fan-out.  When no mitigation state exists every new branch is a falsy
+check: routing, cost accounting and digests are bit-identical to the
+static assignment.
 """
 
 from __future__ import annotations
@@ -296,6 +314,36 @@ class MetadataService:
         # serve reads, never ack writes, and are invisible to
         # :meth:`records_of` until rebuilt from the journal.
         self._stale: Dict[int, Set[int]] = {}
+        # -- hotspot mitigation state (docs/MODEL.md §11) ------------------
+        # All empty/disabled by default; every consumer guards on
+        # falsiness, so static-assignment routing (and digests) is
+        # bit-identical until the first split, pool change, or heat bump.
+        # base range -> sorted [(sub_start_offset, members), ...].  The
+        # first sub always starts at the base range's low offset; a range
+        # absent here is unsplit.
+        self._splits: Dict[int, List[Tuple[int, List[int]]]] = {}
+        # Explicit server pool (None until the first add/remove_server):
+        # replaces the ``% n_servers`` arithmetic for ranges without a
+        # pinned assignment, while every pre-existing data-bearing range
+        # is pinned into _range_replicas before the pool first changes.
+        self._pool: Optional[List[int]] = None
+        # Retired (drained) servers: never spares, never split members.
+        self._retired: Set[int] = set()
+        # Read-hot ranges: rotation counter for replica selection, so
+        # lookups fan out over the (possibly re-replicated) member set.
+        self._read_spread: Dict[int, int] = {}
+        #: Record per-range activity for :meth:`take_heat` (set by the
+        #: :class:`~repro.core.hotspot.HotspotManager` when enabled).
+        self.heat_enabled = False
+        self._write_heat: Dict[int, int] = {}
+        self._read_heat: Dict[int, int] = {}
+        #: Hook fired when heat is recorded (the hotspot manager restarts
+        #: its quiesced tick loop from it).
+        self.on_activity: Optional[Callable[[], None]] = None
+        #: Mitigation observability (host-side only).
+        self.splits_done = 0
+        self.merges_done = 0
+        self.migrations_done = 0
 
     @property
     def record_count(self) -> int:
@@ -304,29 +352,109 @@ class MetadataService:
 
     # -- partitioning ------------------------------------------------------
     def server_of(self, offset: int) -> int:
-        """Owning server of ``offset``: range index round-robin (Fig. 3)."""
+        """Owning server of ``offset``: range index round-robin (Fig. 3).
+
+        With a split range or an elastic pool the owner is the primary of
+        the member set responsible at ``offset``."""
         if offset < 0:
             raise ValueError(f"negative offset {offset}")
-        return int(offset // self.range_size) % self.n_servers
+        range_index = int(offset // self.range_size)
+        if self._splits or self._pool is not None:
+            return self._members_at(range_index, offset)[0]
+        return range_index % self.n_servers
 
     def replica_servers(self, range_index: int) -> List[int]:
         """Replica set of a range, primary first.
 
         Client-computable from the range index alone on a healthy cluster;
         after a takeover the rewritten set is served from the (replicated)
-        assignment table instead.
+        assignment table instead.  For a *split* range this is the ordered
+        union of every sub-range's members (what checkpointing and
+        recovery must account for); per-offset routing uses
+        :meth:`_members_at`.
         """
         override = self._range_replicas.get(range_index)
         if override is not None:
             return list(override)
-        out: List[int] = []
+        subs = self._splits.get(range_index)
+        if subs is not None:
+            union: List[int] = []
+            for _start, members in subs:
+                for server in members:
+                    if server not in union:
+                        union.append(server)
+            return union
+        if self._pool is not None:
+            pool = self._pool
+            out: List[int] = []
+            for k in range(self.replication):
+                server = pool[(range_index + k * self.replica_stride)
+                              % len(pool)]
+                if server not in out:
+                    out.append(server)
+            return out
+        out = []
         for k in range(self.replication):
             server = (range_index + k * self.replica_stride) % self.n_servers
             if server not in out:
                 out.append(server)
         return out
 
-    def read_server_of(self, range_index: int) -> int:
+    def _members_at(self, range_index: int,
+                    offset: Optional[int] = None) -> List[int]:
+        """Members responsible at ``offset`` inside the range — the
+        sub-range's set when split, else the whole replica set.  With
+        ``offset=None`` a split range answers with its member union."""
+        subs = self._splits.get(range_index)
+        if subs is None or offset is None:
+            return self.replica_servers(range_index)
+        members = subs[0][1]
+        for start, sub_members in subs:
+            if start <= offset:
+                members = sub_members
+            else:
+                break
+        return list(members)
+
+    def _overlapping_subs(self, range_index: int, lo: int,
+                          hi: int) -> Iterable[Tuple[int, int]]:
+        """Clipped ``(span_lo, span_hi)`` of each sub-range of a *split*
+        range overlapping [lo, hi), in offset order."""
+        subs = self._splits[range_index]
+        base_end = int((range_index + 1) * self.range_size)
+        for i, (start, _members) in enumerate(subs):
+            end = subs[i + 1][0] if i + 1 < len(subs) else base_end
+            if end <= lo or start >= hi:
+                continue
+            yield max(lo, start), min(hi, end)
+
+    def _note_write(self, range_index: int) -> None:
+        self._write_heat[range_index] = (
+            self._write_heat.get(range_index, 0) + 1)
+        if self.on_activity is not None:
+            self.on_activity()
+
+    def _note_read(self, range_index: int) -> None:
+        self._read_heat[range_index] = (
+            self._read_heat.get(range_index, 0) + 1)
+        if self.on_activity is not None:
+            self.on_activity()
+
+    def take_heat(self) -> Dict[int, Tuple[int, int]]:
+        """Drain the per-range ``(writes, reads)`` recorded since the
+        last call — the hotspot manager's decision input."""
+        heat: Dict[int, Tuple[int, int]] = {}
+        for range_index, n in self._write_heat.items():
+            heat[range_index] = (n, 0)
+        for range_index, n in self._read_heat.items():
+            writes, _ = heat.get(range_index, (0, 0))
+            heat[range_index] = (writes, n)
+        self._write_heat.clear()
+        self._read_heat.clear()
+        return heat
+
+    def read_server_of(self, range_index: int,
+                       offset: Optional[int] = None) -> int:
         """First live, reachable, *current* replica of a range — the
         server a client reads from.
 
@@ -336,12 +464,20 @@ class MetadataService:
         :class:`MetadataUnavailableError` when the whole replica set is
         dead, :class:`QuorumLostError` when live copies exist but none
         is reachable and current; fires :attr:`on_failover` when the
-        primary is not the one answering.
+        intended replica is not the one answering.
+
+        ``offset`` narrows a *split* range to the sub-range responsible
+        for it; a range marked read-hot (:meth:`set_read_spread`) rotates
+        which member answers, spreading lookup fan-out.
         """
+        if self.heat_enabled:
+            self._note_read(range_index)
         if (self.replication == 1 and not self.failed_servers
-                and not self.unreachable_servers and not self._stale):
-            # Fast path: unreplicated healthy cluster — the primary *is*
-            # the replica set, no list to build.
+                and not self.unreachable_servers and not self._stale
+                and not self._splits and not self._read_spread
+                and self._pool is None):
+            # Fast path: unreplicated healthy cluster with no mitigation
+            # state — the primary *is* the replica set, no list to build.
             return range_index % self.n_servers
         stale = self._stale.get(range_index)
         if stale and self.quorum:
@@ -355,8 +491,17 @@ class MetadataService:
                     if self.on_read_repair is not None:
                         self.on_read_repair(range_index, server)
             stale = self._stale.get(range_index)
-        replicas = self.replica_servers(range_index)
-        for server in replicas:
+        replicas = self._members_at(range_index, offset)
+        spread = self._read_spread.get(range_index)
+        if spread is not None and len(replicas) > 1:
+            # Read-hot range: rotate the intended replica.  Serving a
+            # member other than the *rotated* head is still a failover.
+            k = spread % len(replicas)
+            self._read_spread[range_index] = spread + 1
+            order = replicas[k:] + replicas[:k]
+        else:
+            order = replicas
+        for server in order:
             if (server in self.failed_servers
                     or server in self.unreachable_servers):
                 continue
@@ -367,7 +512,7 @@ class MetadataService:
                 if self.on_fence_reject is not None:
                     self.on_fence_reject(range_index, server)
                 continue
-            if server != replicas[0] and self.on_failover is not None:
+            if server != order[0] and self.on_failover is not None:
                 self.on_failover(range_index, server)
             return server
         if all(s in self.failed_servers for s in replicas):
@@ -414,17 +559,53 @@ class MetadataService:
         """All servers owning part of [offset, offset+length)."""
         if length <= 0:
             return set()
+        end = offset + length
         first = int(offset // self.range_size)
-        last = int((offset + length - 1) // self.range_size)
+        last = int((end - 1) // self.range_size)
+        if self._splits or self._pool is not None:
+            owners: Set[int] = set()
+            for r in range(first, last + 1):
+                if r in self._splits:
+                    lo = max(offset, int(r * self.range_size))
+                    hi = min(end, int((r + 1) * self.range_size))
+                    for span_lo, _hi in self._overlapping_subs(r, lo, hi):
+                        owners.add(self._members_at(r, span_lo)[0])
+                else:
+                    owners.add(self.replica_servers(r)[0])
+            return owners
         if last - first + 1 >= self.n_servers:
             return set(range(self.n_servers))
         return {(r % self.n_servers) for r in range(first, last + 1)}
 
     def _split_by_range(self, record: MetadataRecord) -> Iterable[MetadataRecord]:
-        return split_record(record, self.range_size)
+        if not self._splits:
+            return split_record(record, self.range_size)
+        return self._split_by_sub_range(record)
+
+    def _split_by_sub_range(
+            self, record: MetadataRecord) -> Iterable[MetadataRecord]:
+        """Like :func:`split_record`, but pieces inside a *split* range
+        are additionally sliced at its sub-range boundaries, so every
+        journaled piece has exactly one responsible member set."""
+        for piece in split_record(record, self.range_size):
+            range_index = int(piece.offset // self.range_size)
+            subs = self._splits.get(range_index)
+            if subs is None or len(subs) == 1:
+                yield piece
+                continue
+            start = piece.offset
+            while start < piece.end:
+                nxt = piece.end
+                for sub_start, _members in subs:
+                    if sub_start > start:
+                        nxt = min(nxt, sub_start)
+                        break
+                yield piece.slice(start, nxt)
+                start = nxt
 
     # -- mutation ----------------------------------------------------------
-    def _write_ackers(self, range_index: int) -> List[int]:
+    def _write_ackers(self, range_index: int,
+                      offset: Optional[int] = None) -> List[int]:
         """Replica-set members that can ack a write to the range: alive,
         reachable, and current (not fenced).
 
@@ -436,8 +617,13 @@ class MetadataService:
         original any-replica-alive semantics), but a range whose live
         copies are all partitioned away still raises: there is nobody to
         apply the write to.
+
+        ``offset`` narrows a *split* range to the sub-range responsible
+        for it; quorum majorities are then over that sub's member set.
         """
-        replicas = self.replica_servers(range_index)
+        if self.heat_enabled:
+            self._note_write(range_index)
+        replicas = self._members_at(range_index, offset)
         if not (self.unreachable_servers or self._stale):
             ackers = [s for s in replicas if s not in self.failed_servers]
         else:
@@ -466,11 +652,15 @@ class MetadataService:
                     acked=len(ackers), needed=needed)
         return ackers
 
-    def _mark_missed(self, range_index: int, ackers: List[int]) -> None:
+    def _mark_missed(self, range_index: int, ackers: List[int],
+                     members: Optional[List[int]] = None) -> None:
         """Fence every live member that missed an accepted write: a
         lagging copy must not serve reads or ack writes until rebuilt
-        from the journal (read-repair or takeover)."""
-        replicas = self.replica_servers(range_index)
+        from the journal (read-repair or takeover).  ``members`` narrows
+        the check to a split sub-range's set (the fence itself stays
+        base-range granular — conservative but always safe)."""
+        replicas = (members if members is not None
+                    else self.replica_servers(range_index))
         if len(ackers) == len(replicas):
             return
         for server in replicas:
@@ -494,7 +684,7 @@ class MetadataService:
         for piece in self._split_by_range(record):
             range_index = int(piece.offset // self.range_size)
             try:
-                ackers = self._write_ackers(range_index)
+                ackers = self._write_ackers(range_index, piece.offset)
             except DataLossError as err:
                 err.fid = piece.fid
                 err.offset = piece.offset
@@ -505,7 +695,9 @@ class MetadataService:
                 touched.add(server)
                 self._insert_piece(server, piece)
             if self.unreachable_servers or self._stale:
-                self._mark_missed(range_index, ackers)
+                members = (self._members_at(range_index, piece.offset)
+                           if range_index in self._splits else None)
+                self._mark_missed(range_index, ackers, members)
             self._maybe_checkpoint(range_index)
         return touched
 
@@ -542,9 +734,19 @@ class MetadataService:
             stats["batches"] = stats.get("batches", 0) + len(per_range)
             stats["pieces"] = stats.get("pieces", 0) + n_pieces
         ackers_by_range: Dict[int, List[int]] = {}
-        for range_index in per_range:
+        split_ackers: Dict[int, List[List[int]]] = {}
+        for range_index, pieces in per_range.items():
             try:
-                ackers_by_range[range_index] = self._write_ackers(range_index)
+                if range_index in self._splits:
+                    # Split range: each piece routes to its sub-range's
+                    # member set (pieces are already sliced at sub
+                    # boundaries by _split_by_range).
+                    split_ackers[range_index] = [
+                        self._write_ackers(range_index, p.offset)
+                        for p in pieces]
+                else:
+                    ackers_by_range[range_index] = self._write_ackers(
+                        range_index)
             except DataLossError:
                 # Legacy semantics under range loss (and quorum loss):
                 # apply sequentially until the failing range rejects the
@@ -557,14 +759,25 @@ class MetadataService:
         touched = set()
         for range_index, pieces in per_range.items():
             self._journal.setdefault(range_index, []).extend(pieces)
-            ackers = ackers_by_range[range_index]
-            for server in ackers:
-                touched.add(server)
-                insert = self._insert_piece
-                for piece in pieces:
-                    insert(server, piece)
-            if self.unreachable_servers or self._stale:
-                self._mark_missed(range_index, ackers)
+            per_piece = split_ackers.get(range_index)
+            if per_piece is not None:
+                for piece, ackers in zip(pieces, per_piece):
+                    for server in ackers:
+                        touched.add(server)
+                        self._insert_piece(server, piece)
+                    if self.unreachable_servers or self._stale:
+                        self._mark_missed(
+                            range_index, ackers,
+                            self._members_at(range_index, piece.offset))
+            else:
+                ackers = ackers_by_range[range_index]
+                for server in ackers:
+                    touched.add(server)
+                    insert = self._insert_piece
+                    for piece in pieces:
+                        insert(server, piece)
+                if self.unreachable_servers or self._stale:
+                    self._mark_missed(range_index, ackers)
             self._maybe_checkpoint(range_index)
         return touched
 
@@ -717,10 +930,17 @@ class MetadataService:
         """
         if not 0 <= dead < self.n_servers:
             raise ValueError(f"no server {dead}")
-        excluded = self.failed_servers | self.unreachable_servers
+        excluded = (self.failed_servers | self.unreachable_servers
+                    | self._retired)
         actions: List[Tuple[int, int]] = []
         for range_index in sorted(self._journal.keys()
                                   | self._checkpoints.keys()):
+            if range_index in self._splits:
+                primary = self._recover_split_range(range_index, dead,
+                                                    excluded)
+                if primary is not None:
+                    actions.append((range_index, primary))
+                continue
             candidates = self.replica_servers(range_index)
             if dead not in candidates:
                 continue
@@ -754,17 +974,85 @@ class MetadataService:
             actions.append((range_index, new_set[0]))
         return actions
 
+    def _recover_split_range(self, range_index: int, dead: int,
+                             excluded: Set[int]) -> Optional[int]:
+        """Takeover for a *split* range: every sub-range that lost a copy
+        with ``dead`` (or any other excluded/stale member) is refilled
+        independently, its spares rebuilt by replaying only the sub's
+        span.  Returns the new first-sub primary when any membership
+        changed, else None."""
+        subs = self._splits[range_index]
+        if dead not in {s for _start, m in subs for s in m}:
+            return None
+        base_hi = int((range_index + 1) * self.range_size)
+        stale = self._stale.get(range_index, ())
+        new_subs: List[Tuple[int, List[int]]] = []
+        changed = False
+        fenced: List[int] = []
+        for i, (start, members) in enumerate(subs):
+            end = subs[i + 1][0] if i + 1 < len(subs) else base_hi
+            current = [s for s in members
+                       if s not in excluded and s not in stale]
+            if current == members:
+                new_subs.append((start, members))
+                continue
+            need = len(members) - len(current)
+            spares: List[int] = []
+            for k in range(self.n_servers):
+                if len(spares) >= need:
+                    break
+                cand = (range_index + i + k) % self.n_servers
+                if (cand in excluded or cand in current
+                        or cand in stale or cand in spares):
+                    continue
+                spares.append(cand)
+            for server in spares:
+                self._drop_span(server, start, end)
+                self._replay_span(range_index, server, start, end)
+            new_set = current + spares
+            if not new_set:
+                new_subs.append((start, members))
+                continue  # whole pool down for this sub: stays lost
+            new_subs.append((start, new_set))
+            changed = True
+            for server in members:
+                if server not in new_set and server not in self.failed_servers:
+                    fenced.append(server)
+        if not changed:
+            return None
+        self._splits[range_index] = new_subs
+        self._range_epoch[range_index] = (
+            self._range_epoch.get(range_index, 0) + 1)
+        # Fencing is base-range granular: a live ex-member of any sub is
+        # fenced for the whole range.  Safe — the same pass removed it
+        # from every sub it belonged to (the exclusion reasons are
+        # server-wide, not per-sub).
+        for server in fenced:
+            self._stale.setdefault(range_index, set()).add(server)
+        return new_subs[0][1][0]
+
     def _rebuild_copy(self, range_index: int, server: int) -> None:
         """Bring a spare or stale copy current: clear the fence, drop
         whatever the server holds for the range, and replay the journal
-        — the full accepted history, missed writes included."""
+        — the full accepted history, missed writes included.  On a
+        *split* range only the sub-spans the server is a member of are
+        replayed (a fenced ex-member comes back empty and current)."""
         members = self._stale.get(range_index)
         if members is not None:
             members.discard(server)
             if not members:
                 del self._stale[range_index]
         self._drop_range(server, range_index)
-        self._replay(range_index, server)
+        subs = self._splits.get(range_index)
+        if subs is None:
+            self._replay(range_index, server)
+            return
+        base_hi = int((range_index + 1) * self.range_size)
+        for i, (start, sub_members) in enumerate(subs):
+            if server not in sub_members:
+                continue
+            end = subs[i + 1][0] if i + 1 < len(subs) else base_hi
+            self._replay_span(range_index, server, start, end)
 
     def _drop_range(self, server: int, range_index: int) -> None:
         """Discard every record the server holds inside one range
@@ -784,13 +1072,393 @@ class MetadataService:
             else:
                 del store[fid]
 
-    def _replay(self, range_index: int, server: int) -> None:
+    def _replay(self, range_index: int, server: int) -> int:
         """Rebuild one range's partition on ``server``: checkpoint first,
-        then the journal suffix (equivalent to the full history)."""
+        then the journal suffix (equivalent to the full history).
+        Returns pieces applied (the handoff volume)."""
+        applied = 0
         for piece in self._checkpoints.get(range_index, ()):
             self._insert_piece(server, piece)
+            applied += 1
         for piece in self._journal.get(range_index, ()):
             self._insert_piece(server, piece)
+            applied += 1
+        return applied
+
+    def _drop_span(self, server: int, lo: int, hi: int) -> None:
+        """Discard what the server holds inside [lo, hi), slicing records
+        that straddle a boundary — unlike base-range boundaries, in-store
+        compaction *can* merge records across a sub-range boundary."""
+        store = self._stores[server]
+        for fid in list(store):
+            _starts, recs = store[fid]
+            if not recs or recs[-1].end <= lo or recs[0].offset >= hi:
+                continue
+            keep: List[MetadataRecord] = []
+            changed = False
+            for rec in recs:
+                if rec.end <= lo or rec.offset >= hi:
+                    keep.append(rec)
+                    continue
+                changed = True
+                if rec.offset < lo:
+                    keep.append(rec.slice(rec.offset, lo))
+                if rec.end > hi:
+                    keep.append(rec.slice(hi, rec.end))
+            if not changed:
+                continue
+            if keep:
+                store[fid] = ([r.offset for r in keep], keep)
+            else:
+                del store[fid]
+
+    def _replay_span(self, range_index: int, server: int,
+                     lo: int, hi: int) -> int:
+        """Replay only the slice of a range's accepted history inside
+        [lo, hi) onto ``server`` — the sub-range handoff path (split,
+        merge, migration).  Returns pieces applied."""
+        applied = 0
+        for source in (self._checkpoints.get(range_index, ()),
+                       self._journal.get(range_index, ())):
+            for piece in source:
+                if piece.end <= lo or piece.offset >= hi:
+                    continue
+                self._insert_piece(server,
+                                   piece.slice(max(piece.offset, lo),
+                                               min(piece.end, hi)))
+                applied += 1
+        return applied
+
+    # -- hotspot mitigation ops (docs/MODEL.md §11) ------------------------
+    def sub_ranges(self, range_index: int) -> List[Tuple[int, List[int]]]:
+        """The ``(sub_start_offset, members)`` layout of a range — one
+        entry covering the whole range when unsplit (introspection)."""
+        subs = self._splits.get(range_index)
+        if subs is not None:
+            return [(start, list(members)) for start, members in subs]
+        return [(int(range_index * self.range_size),
+                 self.replica_servers(range_index))]
+
+    def pool_servers(self) -> List[int]:
+        """Servers currently in the placement pool (non-retired)."""
+        return self._active_pool()
+
+    @property
+    def retired_servers(self) -> Set[int]:
+        return set(self._retired)
+
+    def _active_pool(self) -> List[int]:
+        if self._pool is not None:
+            return list(self._pool)
+        return list(range(self.n_servers))
+
+    def _require_quorum(self, range_index: int, members: List[int],
+                        verb: str) -> List[int]:
+        """Refuse a mitigation op that a majority (or, without quorum
+        mode, any) of ``members`` cannot acknowledge — a split, merge or
+        migration decided on the minority side of a partition could
+        contradict the majority's epoch after it heals.  Returns the
+        live, current members."""
+        stale = self._stale.get(range_index, ())
+        live = [s for s in members
+                if s not in self.failed_servers
+                and s not in self.unreachable_servers
+                and s not in stale]
+        needed = (len(members) // 2 + 1) if self.quorum else 1
+        if len(live) < needed:
+            raise QuorumLostError(
+                f"metadata range {range_index}: cannot {verb}, only "
+                f"{len(live)} of {len(members)} members can ack "
+                f"({needed} required)", range_index=range_index,
+                acked=len(live), needed=needed)
+        return live
+
+    def _pick_members(self, range_index: int, count: int,
+                      avoid: Iterable[int], rotate: int = 0) -> List[int]:
+        """Pick up to ``count`` healthy, current, non-retired members for
+        a (sub-)range, walking the pool round-robin from the range's home
+        position plus ``rotate`` and preferring servers outside ``avoid``
+        (the already-loaded members)."""
+        avoid = set(avoid)
+        stale = self._stale.get(range_index, ())
+        pool = self._active_pool()
+        ordered = [pool[(range_index + rotate + k) % len(pool)]
+                   for k in range(len(pool))]
+        usable = [s for s in ordered
+                  if s not in self.failed_servers
+                  and s not in self.unreachable_servers
+                  and s not in stale]
+        # Prefer the servers carrying the fewest of this range's subs:
+        # repeated splits would otherwise pile sub-ranges onto the walk's
+        # first healthy servers and re-create the hotspot being split
+        # away.  The sort is stable, so the rotated walk order still
+        # breaks ties deterministically.
+        load: Dict[int, int] = {}
+        for _start, members in self._splits.get(range_index, ()):
+            for s in members:
+                load[s] = load.get(s, 0) + 1
+        usable.sort(key=lambda s: load.get(s, 0))
+        picked = [s for s in usable if s not in avoid][:count]
+        for server in usable:
+            if len(picked) >= count:
+                break
+            if server not in picked:
+                picked.append(server)
+        return picked
+
+    def split_range(self, range_index: int) -> int:
+        """Split the widest sub-range of ``range_index`` at its midpoint,
+        handing the upper half to a (preferably fresh) member set.
+
+        The op drains through quorum (:meth:`_require_quorum`), so the
+        minority side of a partition cannot rewrite ownership; the new
+        members rebuild their half through the same checkpoint + journal
+        replay path a takeover uses; the base range's lease epoch is
+        bumped so the layout change is ordered against takeovers.  Old
+        members explicitly drop the half they handed off — nothing is
+        fenced, because every old member stays current for the sub it
+        keeps.  Returns the pieces replayed onto the new members (the
+        handoff volume the caller prices), 0 when the range cannot split
+        further.
+        """
+        base_lo = int(range_index * self.range_size)
+        base_hi = int((range_index + 1) * self.range_size)
+        subs = self._splits.get(range_index)
+        if subs is None:
+            subs = [(base_lo, self.replica_servers(range_index))]
+        widest = max(
+            ((subs[i + 1][0] if i + 1 < len(subs) else base_hi) - start, i)
+            for i, (start, _members) in enumerate(subs))
+        width, i = widest
+        if width < 2:
+            return 0
+        start, members = subs[i]
+        end = subs[i + 1][0] if i + 1 < len(subs) else base_hi
+        mid = start + width // 2
+        self._require_quorum(range_index, members, "split")
+        new_members = self._pick_members(range_index, len(members),
+                                         avoid=members, rotate=len(subs))
+        if not new_members:
+            raise QuorumLostError(
+                f"metadata range {range_index}: cannot split, no healthy "
+                f"server can host the new sub-range",
+                range_index=range_index, acked=0, needed=1)
+        moved = 0
+        for server in new_members:
+            if server in members:
+                continue  # already holds the whole sub, stays current
+            self._drop_span(server, mid, end)
+            moved += self._replay_span(range_index, server, mid, end)
+        for server in members:
+            if server in new_members or server in self.failed_servers:
+                continue
+            self._drop_span(server, mid, end)
+        self._splits[range_index] = (subs[:i]
+                                     + [(start, list(members)),
+                                        (mid, new_members)]
+                                     + subs[i + 1:])
+        self._range_replicas.pop(range_index, None)
+        self._range_epoch[range_index] = (
+            self._range_epoch.get(range_index, 0) + 1)
+        self.splits_done += 1
+        return moved
+
+    def merge_range(self, range_index: int) -> int:
+        """Collapse a split range back onto its first sub's live member
+        set, replaying the full range onto members that held only part
+        of it.  Every sub must pass the quorum check — merging with an
+        unaccounted-for member could resurrect a stale layout.  Returns
+        pieces replayed; 0 when the range is not split."""
+        subs = self._splits.get(range_index)
+        if subs is None:
+            return 0
+        target: List[int] = []
+        for _start, members in subs:
+            live = self._require_quorum(range_index, members, "merge")
+            if not target:
+                target = live
+        if not target:
+            raise QuorumLostError(
+                f"metadata range {range_index}: cannot merge, first sub "
+                f"has no live member", range_index=range_index,
+                acked=0, needed=1)
+        base_lo = int(range_index * self.range_size)
+        base_hi = int((range_index + 1) * self.range_size)
+        old_members = {s for _start, m in subs for s in m}
+        del self._splits[range_index]
+        self._range_replicas[range_index] = target
+        self._range_epoch[range_index] = (
+            self._range_epoch.get(range_index, 0) + 1)
+        moved = 0
+        for server in target:
+            self._drop_span(server, base_lo, base_hi)
+            moved += self._replay_span(range_index, server, base_lo, base_hi)
+        for server in old_members:
+            if server in target or server in self.failed_servers:
+                continue
+            self._drop_span(server, base_lo, base_hi)
+        self.merges_done += 1
+        return moved
+
+    def set_read_spread(self, range_index: int, extra: int = 1) -> int:
+        """Re-replicate a read-hot range onto up to ``extra`` additional
+        servers and rotate reads over the widened set.
+
+        No fencing: the membership only grows and every old copy stays
+        current.  The spares become full members — they ack writes and
+        count toward quorum majorities.  Returns pieces replayed onto
+        the new members (0 when no spare exists or the range is split —
+        a split range already fans out, rotation alone is enabled)."""
+        if range_index in self._splits:
+            self._read_spread.setdefault(range_index, 0)
+            return 0
+        members = self.replica_servers(range_index)
+        self._require_quorum(range_index, members, "re-replicate")
+        spares = [s for s in self._pick_members(
+                      range_index, extra, avoid=members,
+                      rotate=len(members))
+                  if s not in members]
+        moved = 0
+        base_lo = int(range_index * self.range_size)
+        base_hi = int((range_index + 1) * self.range_size)
+        for server in spares:
+            self._drop_span(server, base_lo, base_hi)
+            moved += self._replay_span(range_index, server, base_lo, base_hi)
+        if spares:
+            self._range_replicas[range_index] = members + spares
+            self._range_epoch[range_index] = (
+                self._range_epoch.get(range_index, 0) + 1)
+        self._read_spread.setdefault(range_index, 0)
+        return moved
+
+    def _pin_assignments(self) -> None:
+        """Pin every data-bearing range's current replica set before the
+        pool changes, so the modulus change cannot silently re-route a
+        range away from its data."""
+        for range_index in sorted(self._journal.keys()
+                                  | self._checkpoints.keys()):
+            if (range_index not in self._range_replicas
+                    and range_index not in self._splits):
+                self._range_replicas[range_index] = self.replica_servers(
+                    range_index)
+
+    def add_server(self) -> int:
+        """Grow the pool by one server at runtime.
+
+        Existing assignments are pinned first (:meth:`_pin_assignments`);
+        only ranges first touched after the grow — and explicit
+        migrations — land on the newcomer.  Returns the new server id.
+        """
+        self._pin_assignments()
+        if self._pool is None:
+            self._pool = [s for s in range(self.n_servers)
+                          if s not in self._retired]
+        new_id = self.n_servers
+        self.n_servers += 1
+        self._stores.append(dict())
+        self._pool.append(new_id)
+        return new_id
+
+    def remove_server(self, server: int) -> int:
+        """Drain and retire a pool server at runtime.
+
+        Refuses to retire an unreachable or sole-live server: a
+        partitioned box cannot be drained, because its copies cannot be
+        verified current.  Every membership the retiree holds — per
+        sub-range on split ranges — is migrated to a healthy spare
+        through the takeover replay path with a per-range epoch bump.
+        Returns pieces replayed onto the replacements.
+        """
+        if (not 0 <= server < self.n_servers or server in self._retired):
+            raise ValueError(f"no server {server}")
+        if server in self.unreachable_servers:
+            raise QuorumLostError(
+                f"cannot retire server {server}: unreachable — a "
+                f"partitioned server cannot be drained",
+                range_index=-1, acked=0, needed=1)
+        live_pool = [s for s in self._active_pool()
+                     if s not in self.failed_servers and s != server]
+        if not live_pool:
+            raise QuorumLostError(
+                f"cannot retire server {server}: no live server left to "
+                f"migrate its ranges to", range_index=-1, acked=0,
+                needed=1)
+        self._pin_assignments()
+        if self._pool is None:
+            self._pool = [s for s in range(self.n_servers)
+                          if s not in self._retired]
+        moved = 0
+        for range_index in sorted(self._journal.keys()
+                                  | self._checkpoints.keys()):
+            subs = self._splits.get(range_index)
+            if subs is not None:
+                moved += self._migrate_split_memberships(range_index,
+                                                         server)
+                continue
+            members = self.replica_servers(range_index)
+            if server not in members:
+                continue
+            self._require_quorum(range_index, members, "migrate")
+            remaining = [s for s in members if s != server]
+            spares = [s for s in self._pick_members(
+                          range_index, 1, avoid=set(members) | {server},
+                          rotate=1)
+                      if s not in remaining and s != server][:1]
+            base_lo = int(range_index * self.range_size)
+            base_hi = int((range_index + 1) * self.range_size)
+            for spare in spares:
+                self._drop_span(spare, base_lo, base_hi)
+                moved += self._replay_span(range_index, spare,
+                                           base_lo, base_hi)
+            new_set = remaining + spares
+            if not new_set:
+                continue  # nobody to take it: assignment stays, data too
+            self._range_replicas[range_index] = new_set
+            self._range_epoch[range_index] = (
+                self._range_epoch.get(range_index, 0) + 1)
+        self._stores[server].clear()
+        self._retired.add(server)
+        if server in self._pool:
+            self._pool.remove(server)
+        self.migrations_done += 1
+        return moved
+
+    def _migrate_split_memberships(self, range_index: int,
+                                   server: int) -> int:
+        """Move every sub-range membership ``server`` holds in a split
+        range onto spares; part of :meth:`remove_server`."""
+        subs = self._splits[range_index]
+        if server not in {s for _start, m in subs for s in m}:
+            return 0
+        base_hi = int((range_index + 1) * self.range_size)
+        new_subs: List[Tuple[int, List[int]]] = []
+        moved = 0
+        changed = False
+        for i, (start, members) in enumerate(subs):
+            if server not in members:
+                new_subs.append((start, members))
+                continue
+            self._require_quorum(range_index, members, "migrate")
+            end = subs[i + 1][0] if i + 1 < len(subs) else base_hi
+            remaining = [s for s in members if s != server]
+            spares = [s for s in self._pick_members(
+                          range_index, 1, avoid=set(members) | {server},
+                          rotate=i + 1)
+                      if s not in remaining and s != server][:1]
+            for spare in spares:
+                self._drop_span(spare, start, end)
+                moved += self._replay_span(range_index, spare, start, end)
+            new_set = remaining + spares
+            if not new_set:
+                new_subs.append((start, members))
+                continue
+            new_subs.append((start, new_set))
+            changed = True
+        if changed:
+            self._splits[range_index] = new_subs
+            self._range_epoch[range_index] = (
+                self._range_epoch.get(range_index, 0) + 1)
+        return moved
 
     # -- cost accounting (fast-path helpers) -------------------------------
     def write_target_servers(self, fid: int, offset: int,
@@ -812,7 +1480,16 @@ class MetadataService:
         last = int((end - 1) // self.range_size)
         for range_index in range(first, last + 1):
             try:
-                touched.update(self._write_ackers(range_index))
+                if self._splits and range_index in self._splits:
+                    sub_lo = max(offset, int(range_index * self.range_size))
+                    sub_hi = min(end, int((range_index + 1)
+                                          * self.range_size))
+                    for span_lo, _hi in self._overlapping_subs(
+                            range_index, sub_lo, sub_hi):
+                        touched.update(self._write_ackers(range_index,
+                                                          span_lo))
+                else:
+                    touched.update(self._write_ackers(range_index))
             except DataLossError as err:
                 err.fid = fid
                 err.offset = max(offset, int(range_index * self.range_size))
@@ -840,7 +1517,16 @@ class MetadataService:
         last = int((end - 1) // self.range_size)
         for range_index in range(first, last + 1):
             try:
-                touched.add(self.read_server_of(range_index))
+                if self._splits and range_index in self._splits:
+                    sub_lo = max(offset, int(range_index * self.range_size))
+                    sub_hi = min(end, int((range_index + 1)
+                                          * self.range_size))
+                    for span_lo, _hi in self._overlapping_subs(
+                            range_index, sub_lo, sub_hi):
+                        touched.add(self.read_server_of(range_index,
+                                                        span_lo))
+                else:
+                    touched.add(self.read_server_of(range_index))
             except (MetadataUnavailableError, QuorumLostError) as err:
                 err.fid = fid
                 err.offset = max(offset, int(range_index * self.range_size))
@@ -872,7 +1558,16 @@ class MetadataService:
             sub_lo = max(offset, int(range_index * self.range_size))
             sub_hi = min(end, int((range_index + 1) * self.range_size))
             try:
-                server = self.read_server_of(range_index)
+                if self._splits and range_index in self._splits:
+                    # Split range: one serving replica per overlapping
+                    # sub-range, each answering only its own span.
+                    spans = [(self.read_server_of(range_index, span_lo),
+                              span_lo, span_hi)
+                             for span_lo, span_hi in self._overlapping_subs(
+                                 range_index, sub_lo, sub_hi)]
+                else:
+                    spans = ((self.read_server_of(range_index),
+                              sub_lo, sub_hi),)
             except (MetadataUnavailableError, QuorumLostError) as err:
                 # Range-level detection, request-level reporting: attach
                 # what the caller was actually asking for.
@@ -880,31 +1575,32 @@ class MetadataService:
                 err.offset = sub_lo
                 err.length = sub_hi - sub_lo
                 raise
-            touched.add(server)
-            store = self._stores[server].get(fid)
-            if store is None:
-                continue
-            starts, recs = store
-            lo = bisect_left(starts, sub_lo)
-            if lo > 0 and recs[lo - 1].end > sub_lo:
-                lo -= 1
-            # Upper bound by bisect too: iterating a tail *slice* copied
-            # O(records-per-server) per lookup.
-            hi = bisect_left(starts, sub_hi, lo)
-            for i in range(lo, hi):
-                rec = recs[i]
-                rec_end = rec.offset + rec.length
-                if rec_end <= sub_lo:
+            for server, span_lo, span_hi in spans:
+                touched.add(server)
+                store = self._stores[server].get(fid)
+                if store is None:
                     continue
-                if rec.offset >= sub_lo and rec_end <= sub_hi:
-                    # Fully-covered record: the clip is the identity and
-                    # records are frozen, so share instead of copying.
-                    # (The common case — inserts split at range
-                    # boundaries, so aligned reads never clip.)
-                    found.append(rec)
-                else:
-                    found.append(rec.slice(max(rec.offset, sub_lo),
-                                           min(rec_end, sub_hi)))
+                starts, recs = store
+                lo = bisect_left(starts, span_lo)
+                if lo > 0 and recs[lo - 1].end > span_lo:
+                    lo -= 1
+                # Upper bound by bisect too: iterating a tail *slice*
+                # copied O(records-per-server) per lookup.
+                hi = bisect_left(starts, span_hi, lo)
+                for i in range(lo, hi):
+                    rec = recs[i]
+                    rec_end = rec.offset + rec.length
+                    if rec_end <= span_lo:
+                        continue
+                    if rec.offset >= span_lo and rec_end <= span_hi:
+                        # Fully-covered record: the clip is the identity
+                        # and records are frozen, so share instead of
+                        # copying.  (The common case — inserts split at
+                        # range boundaries, so aligned reads never clip.)
+                        found.append(rec)
+                    else:
+                        found.append(rec.slice(max(rec.offset, span_lo),
+                                               min(rec_end, span_hi)))
         found.sort(key=lambda r: r.offset)
         return found, touched
 

@@ -87,14 +87,9 @@ class RecoveryService:
         if not actions:
             return
         # Range takeover rewrote replica assignments under the clients:
-        # every location cache is cleared (conservative — the cached
-        # records may still be right, but the coherence contract is
-        # "never serve from a cache a takeover may have outdated").
-        cache = getattr(self.system, "location_cache", None)
-        if cache is not None:
-            dropped = cache.clear()
-            if dropped:
-                self.system.count("cache-invalidate", dropped)
+        # every location cache is cleared (the shared layout-change
+        # invalidation path, also used by splits/merges/migrations).
+        self.system.invalidate_location_caches()
         jobs: List[Tuple[int, int, int]] = []
         for range_index, new_primary in actions:
             total = len(metadata.journal_records(range_index))

@@ -161,6 +161,12 @@ class UniviStorServers:
         self.scrub = ScrubService(self) if config.scrub_enabled else None
         self.recovery = (RecoveryService(self) if config.recovery_enabled
                          else None)
+        # Adaptive hotspot mitigation (docs/MODEL.md §11): heat-driven
+        # online range split/merge, read-hot re-replication, and an
+        # elastic metadata server pool.
+        from repro.core.hotspot import HotspotManager
+        self.hotspot = (HotspotManager(self) if config.hotspot_enabled
+                        else None)
         if config.resilience_enabled:
             self._check_tier_available(StorageTier.SHARED_BB)
 
@@ -196,8 +202,57 @@ class UniviStorServers:
 
     @property
     def alive_servers(self) -> int:
-        """Server processes still running (flush/replication fan-out)."""
-        return max(1, self.total_servers - len(self.failed_servers))
+        """Server processes still running (flush/replication fan-out);
+        drained (retired) pool servers no longer serve."""
+        return max(1, self.total_servers - len(self.failed_servers)
+                   - len(self.metadata._retired))
+
+    # -- elastic metadata pool (docs/MODEL.md §11) -------------------------
+    def invalidate_location_caches(self) -> None:
+        """Clear the client location caches after a layout change
+        (takeover, split, merge, migration, pool resize).  Conservative —
+        the cached records may still be right, but the coherence contract
+        is "never serve from a cache a layout change may have outdated"."""
+        if self.location_cache is not None:
+            dropped = self.location_cache.clear()
+            if dropped:
+                self.count("cache-invalidate", dropped)
+
+    def grow_pool(self) -> int:
+        """Add a metadata server to the pool at runtime; returns its id.
+
+        The newcomer serves the metadata plane only (existing data-plane
+        logs stay where they are): existing range assignments are pinned
+        before the modulus changes, so nothing silently re-routes.
+        """
+        new_id = self.metadata.add_server()
+        self.total_servers += 1
+        self.count("pool-grow")
+        self.telemetry_hook("pool-grow", f"server:{new_id}", 0.0)
+        self.invalidate_location_caches()
+        return new_id
+
+    def shrink_pool(self, server_id: int) -> Optional[int]:
+        """Drain and retire a pool server; returns the pieces migrated
+        off it, or None when it cannot leave cleanly — crashed,
+        partitioned, suspect under the failure detector, or a migration
+        the quorum refused.  An unclean server must not leave: its
+        copies cannot be verified current while its liveness is in doubt.
+        """
+        if (server_id in self.failed_servers
+                or server_id in self.partitioned_servers):
+            return None
+        if self.health is not None and not self.health.is_clean(server_id):
+            return None
+        from repro.core.errors import QuorumLostError
+        try:
+            moved = self.metadata.remove_server(server_id)
+        except QuorumLostError:
+            return None
+        self.count("pool-shrink")
+        self.telemetry_hook("pool-shrink", f"server:{server_id}", 0.0)
+        self.invalidate_location_caches()
+        return moved
 
     def fail_node(self, node_id: int) -> None:
         """Lose a compute node's local storage: its cached data is gone.

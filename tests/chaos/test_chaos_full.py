@@ -69,3 +69,42 @@ class TestFullPartitionCampaign:
     def test_both_quorum_outcomes_at_scale(self, partition_campaign):
         assert partition_campaign.writes_ok > 0
         assert partition_campaign.writes_lost > 0
+
+
+@pytest.fixture(scope="module")
+def hotspot_campaigns():
+    from repro.chaos import run_campaign
+    return (run_campaign(FULL_SEEDS, hardened=True, mix="hotspot", jobs=4),
+            run_campaign(FULL_SEEDS, hardened=False, mix="hotspot", jobs=4))
+
+
+class TestFullHotspotCampaign:
+    """Nightly hotspot acceptance: the adaptive mitigation (split, merge,
+    re-replicate, pool grow/shrink) runs live under partitions and server
+    crashes with zero durability violations and zero stale hot-slot
+    reads, in both modes."""
+
+    def test_zero_violations_either_mode(self, hotspot_campaigns):
+        hardened, baseline = hotspot_campaigns
+        assert hardened.violations == []
+        assert baseline.violations == []
+
+    def test_zero_stale_hot_slots(self, hotspot_campaigns):
+        hardened, _ = hotspot_campaigns
+        stale = [v for v in hardened.violations
+                 if "silent corruption" in v or "stale" in v]
+        assert stale == []
+
+    def test_read_success_bar(self, hotspot_campaigns):
+        hardened, _ = hotspot_campaigns
+        assert hardened.success_rate >= 0.99, (
+            f"hotspot mix recovered only {hardened.reads_ok}/"
+            f"{hardened.reads_total} reads")
+
+    def test_full_mitigation_lifecycle_at_scale(self, hotspot_campaigns):
+        hardened, _ = hotspot_campaigns
+        ops = {op for run in hardened.runs for op in run.telemetry_ops}
+        for expected in ("hotspot-split", "hotspot-merge",
+                         "hotspot-rereplicate", "hotspot-handoff",
+                         "pool-grow", "pool-shrink"):
+            assert expected in ops, f"{expected} never fired at scale"

@@ -9,6 +9,8 @@ gated behind ``CHAOS_FULL=1``.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.chaos import _config, run_campaign, run_one
 
 SMOKE_SEEDS = 20
@@ -159,3 +161,80 @@ class TestPartitionDeterminism:
         a = run_one(7, hardened=True, mix="storm")
         b = run_one(7, hardened=True, mix="partition")
         assert a.digest != b.digest
+
+
+class TestHotspotSmoke:
+    """Gating slice of the hotspot mix: skewed overwrite waves hammer
+    one metadata range while the mitigation splits it, grows the pool,
+    and partitions/server crashes land mid-wave."""
+
+    def setup_method(self):
+        self.campaign = run_campaign(SMOKE_SEEDS, hardened=True,
+                                     mix="hotspot")
+
+    def test_durability_invariant(self):
+        assert self.campaign.violations == []
+
+    def test_no_stale_hot_slots(self):
+        # A lookup routed through an outdated layout (pre-split member,
+        # retired server, stale sub) would surface as silent corruption
+        # on the hot-slot read-back; none may survive.
+        stale = [v for v in self.campaign.violations
+                 if "silent corruption" in v or "stale" in v]
+        assert stale == []
+        assert self.campaign.success_rate >= 0.95
+
+    def test_mitigation_fires_across_slice(self):
+        ops = {op for run in self.campaign.runs
+               for op in run.telemetry_ops}
+        for expected in ("hotspot-split", "pool-grow", "hotspot-handoff",
+                         "hotspot-merge", "pool-shrink"):
+            assert expected in ops, f"{expected} never fired in the slice"
+
+    def test_overwrites_commit_under_mitigation(self):
+        assert self.campaign.writes_ok > 0
+
+    def test_parallel_campaign_digests_match_serial(self):
+        serial = run_campaign(4, hardened=True, mix="hotspot")
+        fanned = run_campaign(4, hardened=True, mix="hotspot", jobs=2)
+        assert [r.digest for r in serial.runs] \
+            == [r.digest for r in fanned.runs]
+
+
+class TestHotspotDeterminism:
+    def test_same_seed_same_digest(self):
+        a = run_one(7, hardened=True, mix="hotspot")
+        b = run_one(7, hardened=True, mix="hotspot")
+        assert a.digest == b.digest
+        assert a.faults == b.faults
+        assert a.telemetry_ops == b.telemetry_ops
+
+    def test_mix_changes_digest(self):
+        a = run_one(7, hardened=True, mix="storm")
+        b = run_one(7, hardened=True, mix="hotspot")
+        assert a.digest != b.digest
+
+    def test_disabled_knobs_are_inert(self):
+        # The mitigation knobs without the enable flag must not perturb
+        # a storm run at all: the golden digests of the pre-existing
+        # mixes are bit-identical with the feature merely *present*.
+        golden = run_one(7, hardened=True)
+        knobs = run_one(7, hardened=True, config=replace(
+            _config(True), range_split_threshold=6,
+            range_merge_threshold=2, hotspot_interval=0.04,
+            pool_max_servers=8))
+        assert golden.digest == knobs.digest
+        assert golden.telemetry_ops == knobs.telemetry_ops
+
+    def test_cache_on_off_digests_identical_hotspot(self):
+        # The coherence bar extends to the mitigation: every split,
+        # merge, grow and shrink conservatively drops the location
+        # caches, so running cache-less replays the exact same storm —
+        # a cache outdated by a layout change can never have answered.
+        for seed in (3, 7, 11):
+            on = run_one(seed, hardened=True, mix="hotspot")
+            off = run_one(seed, hardened=True, mix="hotspot",
+                          config=_config(True, "hotspot").without(
+                              "location_cache"))
+            assert on.digest == off.digest, f"seed {seed}"
+            assert on.telemetry_ops == off.telemetry_ops

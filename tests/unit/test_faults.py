@@ -248,6 +248,44 @@ class TestInjectorMechanics:
         sim.run(until=2.0)
         assert backbone.degrade_factor == 1.0
 
+    def test_skipped_partition_cut_never_heals(self):
+        """Regression: a cut skipped for runtime overlap is dropped
+        *whole* — no partition applied AND no auto-heal scheduled.  A
+        heal armed before the skip check would fire for the phantom
+        cut, healing the original partition early (and "healing"
+        servers the cut never isolated).
+
+        White-box via ``_apply``: the spec parser rejects explicit
+        overlapping groups up front, so only random draws (or direct
+        application, as here) can reach the runtime skip path.
+        """
+        sim, _ = setup()
+        sim.install_faults(FaultSpec())
+        inj = sim.fault_injector
+        system = sim.univistor
+        t0 = sim.now
+        inj._apply(Fault(at=t0, kind="partition", servers=(0,),
+                         mode="sym", duration=1.0))
+        # Overlapping cut (server 0 still partitioned): dropped whole.
+        inj._apply(Fault(at=t0, kind="partition", servers=(0, 1),
+                         mode="sym", duration=0.2))
+        assert system.partitioned_servers == {0}
+        assert sim.telemetry.counters.get("fault-partition-skipped") == 1
+        assert any(desc.startswith("skip:") for _t, desc in inj.applied)
+        # Past the skipped cut's duration: had its heal been armed it
+        # would have fired by now.
+        sim.run(until=t0 + 0.5)
+        assert system.partitioned_servers == {0}
+        assert "partition-heal" not in telemetry_ops(sim)
+        # The real cut's own heal still fires on schedule — exactly once,
+        # for exactly the servers that were actually cut.
+        sim.run(until=t0 + 1.5)
+        assert system.partitioned_servers == set()
+        heals = [r for r in sim.telemetry.records
+                 if r.op == "partition-heal"]
+        assert len(heals) == 1
+        assert "servers:0" in heals[0].path
+
 
 class TestFailureRecoveryMatrix:
     def test_crash_before_replication_loses_data(self):

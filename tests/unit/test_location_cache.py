@@ -77,6 +77,22 @@ class TestMirrorExactness:
         assert cache.lookup(7, 0, 16 * KB) is None
         assert cache.misses == 1
 
+    def test_zero_length_lookup_counts_neither_hit_nor_miss(self):
+        """A degenerate (length <= 0) request resolves nothing and
+        avoids no store search, so it must not move the hit/miss
+        telemetry — counting before validation inflated the hit rate."""
+        md, cache = self.mirror_pair()
+        self.both_insert(md, cache, [rec(0, 16 * KB)])
+        assert cache.lookup(1, 0, 0) == []
+        assert cache.lookup(1, 4 * KB, -1) == []
+        assert cache.lookup(7, 0, 0) is None  # untracked stays a None
+        assert cache.hits == 0
+        assert cache.misses == 0
+        # Real requests still count.
+        assert cache.lookup(1, 0, 4 * KB)
+        assert cache.lookup(7, 0, 4 * KB) is None
+        assert (cache.hits, cache.misses) == (1, 1)
+
     def test_untracked_inserts_ignored_never_retracked(self):
         md, cache = self.mirror_pair()
         assert cache.invalidate_file(1)
