@@ -59,6 +59,7 @@ QUICK_BENCHES = [
     "test_cached_read_latency",
     "test_multi_job_throughput",
     "test_hot_range_throughput",
+    "test_write_quorum_overhead",
 ]
 
 #: Excluded from the default run: the paper's largest scale is minutes of

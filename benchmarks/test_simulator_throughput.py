@@ -232,6 +232,61 @@ class TestHotRangeThroughput:
                 f"{adaptive / static:.2f}x")
 
 
+class TestWriteQuorumOverhead:
+    """Simulated write-ack cost of the synchronous data-plane quorum
+    (docs/MODEL.md §12): at ``data_quorum=2`` the shared-BB mirror
+    joins the collective's completion, so the ack waits for the slowest
+    of the primary placement and the mirror.  Non-gating on the ratio —
+    the bench records the dq=2 vs dq=1 simulated write-phase times in
+    the trajectory so the durability-vs-latency trade-off stays
+    visible across PRs."""
+
+    RANKS = 6
+    WAVES = 20
+    BLOCK = int(256 * KiB)
+
+    def _run_waves(self, data_quorum):
+        """Returns the simulated write-phase duration (seconds)."""
+        config = UniviStorConfig.hardened(
+            metadata_range_size=float(64 * KiB),
+            journal_checkpoint=2,
+            data_quorum=data_quorum)
+        sim = Simulation(MachineSpec.small_test(nodes=3))
+        sim.install_univistor(config)
+        comm = sim.comm("quorum", self.RANKS, procs_per_node=2)
+        elapsed = {}
+
+        def app():
+            fh = yield from sim.open(comm, "/quorum", "w",
+                                     fstype="univistor")
+            start = sim.now
+            for wave in range(self.WAVES):
+                yield from fh.write_at_all([
+                    IORequest.contiguous_block(
+                        r, self.BLOCK,
+                        PatternPayload(wave * self.RANKS + r))
+                    for r in range(comm.size)])
+            elapsed["write"] = sim.now - start
+            yield from fh.close()
+            yield from fh.sync()
+
+        sim.run_to_completion(app())
+        sim.run()
+        return elapsed["write"]
+
+    def test_write_quorum_overhead(self, benchmark):
+        dq2 = benchmark.pedantic(self._run_waves, args=(2,),
+                                 rounds=3, iterations=1)
+        dq1 = self._run_waves(1)
+        benchmark.extra_info["simulated_write_seconds_dq2"] = dq2
+        benchmark.extra_info["simulated_write_seconds_dq1"] = dq1
+        benchmark.extra_info["quorum_overhead_ratio"] = dq2 / dq1
+        # The mirror rides the ack path, so dq=2 can never be cheaper
+        # than the async-replication baseline; the magnitude is
+        # trajectory data, not a gate.
+        assert dq2 >= dq1
+
+
 class TestFullStackThroughput:
     def _run_micro(self, procs):
         sim, fstype = build_simulation(procs, "UniviStor/DRAM")

@@ -60,8 +60,14 @@ _SETTLE = 0.6
 #: phase that probes quorum admission and stale-read fencing;
 #: ``hotspot`` hammers one metadata range with skewed overwrite waves
 #: while cuts and crashes land mid-split/mid-migration, probing the
-#: adaptive mitigation layer (docs/MODEL.md §11).
-MIXES = ("storm", "partition", "hotspot")
+#: adaptive mitigation layer (docs/MODEL.md §11); ``storm2`` is the
+#: data-plane quorum gate (docs/MODEL.md §12): overwrites on an open
+#: file followed by a double node crash whose gap is *shorter than the
+#: detection delay*, so async re-replication can never win the race —
+#: only the write-time synchronous copy (``data_quorum=2``) survives.
+#: The registry maps each mix name to its schedule generator; the CLI
+#: and :func:`run_one` validate against it.
+MIXES = ("storm", "partition", "hotspot", "storm2")
 #: Hotspot-mix skew: every rank overwrites a small slot inside ONE
 #: 64 KiB metadata range (the range right after the cold blocks), slots
 #: strided across the range so splitting actually spreads the load.
@@ -85,6 +91,16 @@ class ChaosRunResult:
     mix: str = "storm"
     reads_ok: int = 0
     reads_lost: int = 0
+    #: Diagnosable per-seed failure causes (NOT part of the digest):
+    #: one entry per lost read/write naming the error type, the lost
+    #: fid/offset/length and any stale-version provenance the
+    #: version-ordered read chain refused to serve.
+    failure_causes: Tuple[str, ...] = ()
+    #: Narrowest gap between two consecutive crash events in the drawn
+    #: schedule (None when the schedule has fewer than two crashes) —
+    #: the storm-gap trajectory across PRs hinges on this width vs the
+    #: detection delay.
+    crash_window: Optional[float] = None
     #: Mid-storm overwrite outcomes (``partition`` and ``hotspot``
     #: mixes): a write either commits on a majority or is rejected whole
     #: with a structured error — ``writes_lost`` counts honest
@@ -145,6 +161,57 @@ class CampaignResult:
     def ok(self) -> bool:
         return not self.violations
 
+    def summary(self) -> dict:
+        """JSON-serialisable campaign summary with per-seed failure
+        *causes* (not just pass/fail counts), so the storm-gap
+        trajectory stays diagnosable across PRs.  ``failures`` lists
+        every seed that lost a read or violated the invariant, with its
+        crash-window width, the structured causes and the digest."""
+        runs = self.runs
+        return {
+            "mix": runs[0].mix if runs else None,
+            "hardened": runs[0].hardened if runs else None,
+            "seeds": len(runs),
+            "reads_ok": self.reads_ok,
+            "reads_total": self.reads_total,
+            "success_rate": self.success_rate,
+            "writes_ok": self.writes_ok,
+            "writes_lost": self.writes_lost,
+            "violations": self.violations,
+            "failures": [
+                {"seed": r.seed,
+                 "reads_lost": r.reads_lost,
+                 "writes_lost": r.writes_lost,
+                 "crash_window": r.crash_window,
+                 "causes": list(r.failure_causes),
+                 "violations": list(r.violations),
+                 "digest": r.digest}
+                for r in runs
+                if r.reads_lost or r.writes_lost or r.violations],
+        }
+
+
+def _loss_cause(kind: str, rank: int, err: Exception) -> str:
+    """One diagnosable line for a lost read/write: error type, the lost
+    span's identity, and the stale-version provenance (if the
+    version-ordered chain refused stale copies)."""
+    parts = [f"{kind} rank {rank}: {type(err).__name__}"]
+    fid = getattr(err, "fid", None)
+    offset = getattr(err, "offset", None)
+    length = getattr(err, "length", None)
+    if fid is not None:
+        parts.append(f"fid={fid}")
+    if offset is not None:
+        parts.append(f"offset={int(offset)}")
+    if length is not None:
+        parts.append(f"length={int(length)}")
+    provenance = getattr(err, "stale_provenance", ())
+    if provenance:
+        parts.append("stale=" + ",".join(
+            f"[{s.start},{s.end})v{s.have_version}<v{s.want_version}"
+            f"@e{s.want_epoch}" for s in provenance))
+    return " ".join(parts)
+
 
 def _config(hardened: bool, mix: str = "storm") -> UniviStorConfig:
     """The run configuration.  Both modes replicate and retry (PR 1);
@@ -173,6 +240,14 @@ def _config(hardened: bool, mix: str = "storm") -> UniviStorConfig:
                   hotspot_enabled=True, range_split_threshold=6,
                   range_merge_threshold=2, hotspot_interval=0.04,
                   pool_max_servers=8)
+    elif mix == "storm2":
+        # Three-way metadata replication (one copy per node) keeps every
+        # range readable through a double node crash; data_quorum=2 is
+        # the feature under test — a write acks only once its segments
+        # are durable on two failure domains.
+        kw.update(metadata_replication=3, lease_ttl=0.25, data_quorum=2)
+    elif mix != "storm":
+        raise ValueError(f"unknown chaos mix {mix!r}; valid: {MIXES}")
     config = UniviStorConfig.hardened(**kw)
     if not hardened:
         config = config.without("health_enabled", "recovery_enabled",
@@ -189,7 +264,8 @@ def _settle_for(config: UniviStorConfig) -> float:
 
 
 def _schedule(rng: StreamRNG, base: float, n_nodes: int,
-              n_servers: int, servers_per_node: int) -> FaultSpec:
+              n_servers: int, servers_per_node: int,
+              lease_ttl: float = 0.0) -> FaultSpec:
     """Draw one randomized fault storm starting at ``base``.
 
     Bounded malice: at most one node crash and one extra server crash
@@ -337,6 +413,51 @@ def _hotspot_schedule(rng: StreamRNG, base: float, n_nodes: int,
     return FaultSpec(events=tuple(events))
 
 
+def _storm2_schedule(rng: StreamRNG, base: float, n_nodes: int,
+                     n_servers: int, servers_per_node: int,
+                     lease_ttl: float) -> FaultSpec:
+    """Draw the data-plane quorum storm: a **double node crash whose
+    gap is shorter than the detection delay** (heartbeat_interval *
+    dead_heartbeats = 0.2 s), so the second crash always lands before
+    the first is even declared dead — crash-triggered re-replication
+    can never win this race, only a synchronous write-time copy
+    survives it.  DRAM rot on any node and a shared-BB brownout ride
+    along; no BB *outage* or BB corruption: the storm must kill the
+    primaries, not sabotage the quorum copies, to isolate the gap
+    being gated.
+    """
+    s = rng.stream("chaos.storm2-schedule")
+    events: List[Fault] = []
+    first = int(s.integers(n_nodes))
+    second = (first + 1 + int(s.integers(n_nodes - 1))) % n_nodes
+    t1 = base + float(s.uniform(0.01, 0.08))
+    gap = float(s.uniform(0.02, 0.15))  # always < the 0.2 s dead delay
+    events.append(Fault(at=t1, kind="node-crash", target=first))
+    events.append(Fault(at=t1 + gap, kind="node-crash", target=second))
+    if s.uniform() < 0.4:
+        events.append(Fault(at=base + float(s.uniform(0.01, _STORM_WINDOW)),
+                            kind="device-degrade", tier="shared_bb",
+                            factor=float(s.uniform(0.25, 0.75)),
+                            duration=float(s.uniform(0.05, 0.2))))
+    for _ in range(int(s.integers(3))):
+        events.append(Fault(at=base + float(s.uniform(0.01, _STORM_WINDOW)),
+                            kind="data-corrupt", tier="dram",
+                            target=int(s.integers(n_nodes)),
+                            nbytes=float(8 * KiB)))
+    return FaultSpec(events=tuple(events))
+
+
+#: Mix-name registry: every schedule generator shares the signature
+#: ``(rng, base, n_nodes, n_servers, servers_per_node, lease_ttl)``.
+_SCHEDULES = {
+    "storm": _schedule,
+    "partition": _partition_schedule,
+    "hotspot": _hotspot_schedule,
+    "storm2": _storm2_schedule,
+}
+assert tuple(_SCHEDULES) == MIXES
+
+
 def run_one(seed: int, hardened: bool = True,
             config: Optional[UniviStorConfig] = None,
             mix: str = "storm") -> ChaosRunResult:
@@ -379,21 +500,16 @@ def run_one(seed: int, hardened: bool = True,
         yield from fh.close()
         yield from fh.sync()
 
-        if mix == "partition":
-            spec = _partition_schedule(rng, sim.now, NODES,
-                                       system.total_servers,
-                                       system.config.servers_per_node,
-                                       cfg.lease_ttl)
-        elif mix == "hotspot":
-            spec = _hotspot_schedule(rng, sim.now, NODES,
-                                     system.total_servers,
-                                     system.config.servers_per_node,
-                                     cfg.lease_ttl)
-        else:
-            spec = _schedule(rng, sim.now, NODES, system.total_servers,
-                             system.config.servers_per_node)
+        spec = _SCHEDULES[mix](rng, sim.now, NODES, system.total_servers,
+                               system.config.servers_per_node,
+                               cfg.lease_ttl)
         injector = sim.install_faults(spec, seed=seed)
         result.faults = tuple(f.describe() for f in injector.timeline)
+        crash_times = sorted(f.at for f in injector.timeline
+                             if f.kind in ("node-crash", "server-crash"))
+        if len(crash_times) >= 2:
+            result.crash_window = min(
+                b - a for a, b in zip(crash_times, crash_times[1:]))
         if system.scrub is not None and cfg.scrub_interval > 0:
             # Periodic scrubbing across the storm: ticks that land
             # while recovery or flushes are in flight defer.
@@ -412,10 +528,11 @@ def run_one(seed: int, hardened: bool = True,
                 try:
                     yield from fh.write_at_all([IORequest.contiguous_block(
                         r, BLOCK, PatternPayload(r + comm.size))])
-                except DataLossError:
+                except DataLossError as err:
                     # Quorum unreachable: the honest whole-write
                     # rejection the invariant allows.
                     result.writes_lost += 1
+                    result.failure_causes += (_loss_cause("write", r, err),)
                     continue
                 except Exception as err:  # noqa: BLE001 - the invariant
                     result.violations.append(
@@ -452,8 +569,10 @@ def run_one(seed: int, hardened: bool = True,
                         yield from fh.write_at_all([IORequest(
                             r, HOT_BASE + r * _HOT_STRIDE, HOT_SLOT,
                             pattern)])
-                    except DataLossError:
+                    except DataLossError as err:
                         result.writes_lost += 1
+                        result.failure_causes += (
+                            _loss_cause("write", r, err),)
                         continue
                     except Exception as err:  # noqa: BLE001 - invariant
                         result.violations.append(
@@ -472,6 +591,43 @@ def run_one(seed: int, hardened: bool = True,
                 result.violations.append(
                     f"hot close: unhandled {type(err).__name__}: {err}")
             yield sim.engine.timeout(_settle_for(cfg))
+        elif mix == "storm2":
+            # Overwrite phase BEFORE the crashes, on a healthy cluster,
+            # and the file deliberately stays OPEN through the storm: no
+            # close means no async flush and no close-time replication,
+            # so when the double crash wipes both writer nodes inside
+            # the detection window, the only durable copy of v2 is the
+            # synchronous write-time quorum mirror (data_quorum=2).
+            # With data_quorum=1 this exact run loses the overwrites —
+            # the version-ordered ladder raises instead of serving the
+            # stale v1 replica (the pre-PR silent stale-read gap).
+            fh = yield from sim.open(comm, "/chaos", "w",
+                                     fstype="univistor")
+            for r in range(comm.size):
+                try:
+                    yield from fh.write_at_all([IORequest.contiguous_block(
+                        r, BLOCK, PatternPayload(r + comm.size))])
+                except DataLossError as err:
+                    result.writes_lost += 1
+                    result.failure_causes += (_loss_cause("write", r, err),)
+                    continue
+                except Exception as err:  # noqa: BLE001 - the invariant
+                    result.violations.append(
+                        f"rank {r}: overwrite unhandled "
+                        f"{type(err).__name__}: {err}")
+                    continue
+                expected[r] = PatternPayload(r + comm.size).materialize(
+                    0, BLOCK)
+                result.writes_ok += 1
+            yield sim.engine.timeout(_STORM_WINDOW + _settle_for(cfg))
+            try:
+                yield from fh.close()
+                yield from fh.sync()
+            except DataLossError:
+                pass  # flush blocked by the storm; replicas still serve
+            except Exception as err:  # noqa: BLE001 - the invariant
+                result.violations.append(
+                    f"storm2 close: unhandled {type(err).__name__}: {err}")
         else:
             yield sim.engine.timeout(_STORM_WINDOW + _SETTLE)
         if system.scrub is not None:
@@ -484,10 +640,11 @@ def run_one(seed: int, hardened: bool = True,
             try:
                 data = yield from fh2.read_at_all(
                     [IORequest(r, r * BLOCK, BLOCK)])
-            except DataLossError:
+            except DataLossError as err:
                 # Structured loss is the honest failure the invariant
                 # allows.
                 result.reads_lost += 1
+                result.failure_causes += (_loss_cause("read", r, err),)
                 continue
             except Exception as err:  # noqa: BLE001 - the invariant
                 result.violations.append(
@@ -505,8 +662,9 @@ def run_one(seed: int, hardened: bool = True,
             try:
                 data = yield from fh2.read_at_all([IORequest(
                     r, HOT_BASE + r * _HOT_STRIDE, HOT_SLOT)])
-            except DataLossError:
+            except DataLossError as err:
                 result.reads_lost += 1
+                result.failure_causes += (_loss_cause("read", r, err),)
                 continue
             except Exception as err:  # noqa: BLE001 - the invariant
                 result.violations.append(

@@ -182,7 +182,11 @@ def cmd_workflow(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    from repro.chaos import _config, run_campaign
+    from repro.chaos import MIXES, _config, run_campaign
+    if args.mix not in MIXES:
+        print(f"error: unknown chaos mix {args.mix!r}; available mixes: "
+              f"{', '.join(MIXES)}")
+        return 2
     hardened = not args.baseline
     mode = "hardened" if hardened else "baseline"
     # Detector/lease tuning: lower heartbeat intervals and thresholds
@@ -196,7 +200,8 @@ def cmd_chaos(args) -> int:
         ("range_split_threshold", args.split_threshold),
         ("range_merge_threshold", args.merge_threshold),
         ("hotspot_interval", args.hotspot_interval),
-        ("pool_max_servers", args.pool_max)) if value is not None}
+        ("pool_max_servers", args.pool_max),
+        ("data_quorum", args.data_quorum)) if value is not None}
     config = None
     if overrides:
         import dataclasses
@@ -210,12 +215,17 @@ def cmd_chaos(args) -> int:
           f"{mode} configuration, {args.mix} mix")
     print(f"  reads: {campaign.reads_ok}/{campaign.reads_total} correct "
           f"({campaign.success_rate:.2%}), {lost} structured losses")
-    if args.mix in ("partition", "hotspot"):
+    if args.mix in ("partition", "hotspot", "storm2"):
         total_writes = campaign.writes_ok + campaign.writes_lost
         print(f"  mid-storm overwrites: {campaign.writes_ok}/"
               f"{total_writes} committed on a majority, "
               f"{campaign.writes_lost} rejected whole (quorum lost)")
     print(f"  invariant violations: {len(campaign.violations)}")
+    if args.summary_json:
+        import json
+        with open(args.summary_json, "w") as fh:
+            json.dump(campaign.summary(), fh, indent=2)
+        print(f"  summary written to {args.summary_json}")
     for violation in campaign.violations:
         print(f"    VIOLATION {violation}")
     if args.verbose:
@@ -413,12 +423,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "(per-seed digests stay bit-identical to the "
                         "serial run)")
     p.add_argument("--mix", default="storm",
-                   choices=["storm", "partition", "hotspot"],
-                   help="fault mix: crash/outage/corruption storm, "
+                   help="fault mix, validated against the registered "
+                        "mix names: crash/outage/corruption storm, "
                         "network partitions with a mid-cut overwrite "
-                        "phase (quorum + fencing probes), or skewed "
+                        "phase (quorum + fencing probes), skewed "
                         "hot-range overwrite waves under the adaptive "
-                        "split/merge mitigation")
+                        "split/merge mitigation, or the storm2 "
+                        "double-crash data-quorum gate")
+    p.add_argument("--data-quorum", type=int, default=None, metavar="N",
+                   help="override data_quorum (1 = legacy async "
+                        "replication at close; 2 = writes ack only "
+                        "after a synchronous shared-BB copy)")
+    p.add_argument("--summary-json", default=None, metavar="PATH",
+                   help="write the campaign summary (per-seed failure "
+                        "causes, crash-window widths, digests) as JSON")
     p.add_argument("--split-threshold", type=int, default=None,
                    metavar="OPS",
                    help="override range_split_threshold (ops per "

@@ -24,9 +24,12 @@ from typing import Dict, Generator, List, Optional
 
 from repro.analysis.metrics import Telemetry
 from repro.core.config import StorageTier
+from repro.core.errors import DataQuorumLostError
 from repro.core.metadata import (MetadataRecord, MetadataUnavailableError,
                                  QuorumLostError, coalesce_records)
 from repro.core.server import FileSession, UniviStorServers
+from repro.core.versioning import stamp_with_epochs
+from repro.storage.device import TransientIOError
 from repro.simmpi.adio import ADIODriver, OpenContext
 from repro.simmpi.mpiio import IORequest
 from repro.storage.lustre import StripingLayout
@@ -124,6 +127,10 @@ class UniviStorDriver(ADIODriver):
         # cost is bit-identical to the unbatched path.
         meta_batch = system.config.meta_batch
         quorum = system.config.meta_quorum
+        data_quorum = system.config.data_quorum
+        dq_bytes = 0.0
+        dq_ranks = 0
+        op_version = None
         pending: List[MetadataRecord] = []
         pending_spans: List[tuple] = []
         for req in requests:
@@ -184,6 +191,40 @@ class UniviStorDriver(ADIODriver):
                 else:
                     pfs_bytes += seg.length
                     rank_pfs = True
+            # Authority stamping (docs/MODEL.md §12): one write version
+            # per collective op, split at range boundaries so each span
+            # carries the epoch current at write time.  Quorum-rejected
+            # requests never reach here (probe raised above), so a
+            # rejected overwrite leaves the authority — like the
+            # superseded records — fully intact.
+            if op_version is None:
+                session.write_version += 1
+                op_version = session.write_version
+            stamp_with_epochs(session.data_versions, metadata, req.offset,
+                              req.length, op_version)
+            if data_quorum >= 2:
+                # Synchronous second copy: mirror this request's
+                # node-local segments into the rank's replica log on the
+                # shared BB *now*, so the ack below can attest two
+                # failure domains.  Spilled BB/PFS segments already live
+                # off-node and need no extra copy.
+                rank_sync = 0.0
+                for rec in records:
+                    if not rec.tier.is_node_local:
+                        continue
+                    replica = system.resilience.replica_file(session,
+                                                             rec.proc_id)
+                    replica.write_at(
+                        rec.offset, rec.length, req.payload,
+                        req.payload_offset + (rec.offset - req.offset))
+                    session.replica_map(rec.proc_id).copy_from(
+                        session.data_versions, rec.offset, rec.length)
+                    rank_sync += rec.length
+                if rank_sync > 0:
+                    system.resilience.note_synchronous_copy(session,
+                                                            rank_sync)
+                    dq_bytes += rank_sync
+                    dq_ranks += 1
             if meta_batch:
                 if probe is not None:
                     # Quorum mode already probed this request's admission
@@ -273,12 +314,57 @@ class UniviStorDriver(ADIODriver):
                 pfs_bytes / streams, layout, per_stream_cap=cap,
                 efficiency=lustre.spec.fpp_efficiency(streams),
                 tag="uv-write-pfs"))
+        def quorum_lost(exc: TransientIOError) -> DataQuorumLostError:
+            # The synchronous BB mirror failed (past the retry budget
+            # when retries are on): the write is NOT durable on
+            # data_quorum failure domains, so it is not acknowledged.
+            # Like a metadata range loss mid-op, the primary placement
+            # has partially applied; the structured error says which
+            # quorum was missed.
+            system.count("data-quorum-lost")
+            first = requests[0] if requests else None
+            return DataQuorumLostError(
+                f"{state.ctx.path}: write acknowledged on 1 of "
+                f"{data_quorum} required failure domains (shared-BB "
+                f"mirror failed: {exc})",
+                acked=1, needed=data_quorum, fid=session.fid,
+                rank=first.rank if first else None,
+                offset=first.offset if first else None,
+                length=first.length if first else None)
+
+        if dq_bytes > 0:
+            # The synchronous quorum copy rides the ack: the collective
+            # completes only when the slowest of the primary placement
+            # and the BB mirror lands (bounded retry/backoff via
+            # timed_io, like every other resilience-path flow).
+            bb = machine.burst_buffer
+            assert bb is not None
+            streams = max(1, dq_ranks)
+            cap = min(bb.client_write_cap(comm.procs_per_node),
+                      net.injection_cap(comm.procs_per_node))
+            try:
+                flows.append(system.timed_io(
+                    lambda: bb.write(dq_bytes / streams, streams=streams,
+                                     shared_file=False, per_stream_cap=cap,
+                                     tag="uv-write-quorum"),
+                    "data-quorum"))
+            except TransientIOError as exc:
+                # Retries disabled: the device raised synchronously at
+                # submission rather than inside the flow.
+                raise quorum_lost(exc) from exc
         if inserts_per_server:
             busiest = max(inserts_per_server.values())
             flows.append(self.engine.timeout(
                 net.rpc_cost(busiest, serialized=True)))
         if flows:
-            yield self.engine.all_of(flows)
+            try:
+                yield self.engine.all_of(flows)
+            except TransientIOError as exc:
+                if dq_bytes <= 0:
+                    raise
+                raise quorum_lost(exc) from exc
+        if dq_bytes > 0:
+            system.count("data-quorum-ack", dq_ranks)
         self.telemetry.record(app=comm.name, op="write", path=state.ctx.path,
                               t_start=t0, nbytes=total, driver=self.name)
 

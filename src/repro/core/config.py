@@ -88,6 +88,17 @@ class UniviStorConfig:
     #: of ``servers_per_node`` keeps replicas off the primary's node).
     #: 1 = the paper's unreplicated KV: a server crash loses its ranges.
     metadata_replication: int = 1
+    #: Data-plane write durability (docs/MODEL.md §12): a write is
+    #: acknowledged only after ``data_quorum`` copies of each segment are
+    #: durable on distinct failure domains.  1 (the default) keeps the
+    #: legacy async-at-close replication path bit-identical; 2 adds a
+    #: synchronous copy of every node-local segment to the shared burst
+    #: buffer at write time (bounded retry/backoff via the ``io_*``
+    #: knobs; exhaustion raises a structured
+    #: :class:`~repro.core.errors.DataQuorumLostError`).  Segments the
+    #: DHP already placed on the shared BB/PFS tiers live off-node and
+    #: satisfy the quorum as-is.  Requires ``resilience_enabled``.
+    data_quorum: int = 1
     #: Majority-quorum metadata (CAP-complete failure model): writes need
     #: acks from a majority of a range's replica set (reachable, alive and
     #: current), reads refuse to serve from a lagging or fenced copy, and
@@ -209,6 +220,13 @@ class UniviStorConfig:
             raise ValueError("metadata_range_size must be positive")
         if self.metadata_replication < 1:
             raise ValueError("metadata_replication must be >= 1")
+        if self.data_quorum not in (1, 2):
+            raise ValueError("data_quorum must be 1 or 2 (the model has "
+                             "node-local + shared failure domains)")
+        if self.data_quorum >= 2 and not self.resilience_enabled:
+            raise ValueError("data_quorum >= 2 requires resilience_enabled "
+                             "(the synchronous copy lands in the "
+                             "resilience replica log)")
         if self.io_retry_limit < 0:
             raise ValueError("io_retry_limit must be >= 0")
         if self.io_backoff_base <= 0:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-__all__ = ["DataLossError", "QuorumLostError"]
+__all__ = ["DataLossError", "DataQuorumLostError", "QuorumLostError"]
 
 
 class DataLossError(RuntimeError):
@@ -29,6 +29,11 @@ class DataLossError(RuntimeError):
     callers (and tests) can react to the loss instead of parsing the
     message.  Fields are ``None`` when the failure mode cannot attribute
     them (e.g. a lost metadata range knows no single source rank).
+
+    ``stale_provenance`` lists the stale copies the version-ordered
+    degraded read chain *refused* to serve (docs/MODEL.md §12) as
+    :class:`~repro.core.versioning.StaleSpan` tuples; it is empty when
+    the loss involved no stale copy (every copy simply dead/corrupt).
     """
 
     def __init__(self, message: str, *, fid: Optional[int] = None,
@@ -41,6 +46,7 @@ class DataLossError(RuntimeError):
         self.node = node
         self.offset = offset
         self.length = length
+        self.stale_provenance: tuple = ()
 
 
 class QuorumLostError(DataLossError):
@@ -60,5 +66,26 @@ class QuorumLostError(DataLossError):
                  length: Optional[int] = None):
         super().__init__(message, fid=fid, offset=offset, length=length)
         self.range_index = range_index
+        self.acked = acked
+        self.needed = needed
+
+
+class DataQuorumLostError(DataLossError):
+    """A write could not make ``data_quorum`` copies of a segment durable
+    on distinct failure domains (docs/MODEL.md §12).
+
+    The data-plane mirror of :class:`QuorumLostError`: the primary
+    (node-local) copy was written but the synchronous remote copy failed
+    past the bounded retry/backoff budget, so the write is *not*
+    acknowledged at the requested durability.  ``acked``/``needed``
+    count copies, not metadata replicas.
+    """
+
+    def __init__(self, message: str, *, acked: Optional[int] = None,
+                 needed: Optional[int] = None, fid: Optional[int] = None,
+                 rank: Optional[int] = None, offset: Optional[int] = None,
+                 length: Optional[int] = None):
+        super().__init__(message, fid=fid, rank=rank, offset=offset,
+                         length=length)
         self.acked = acked
         self.needed = needed

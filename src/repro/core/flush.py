@@ -207,5 +207,12 @@ class FlushService:
             for extent in extents:
                 out.write_at(extent.offset, extent.length, extent.payload,
                              extent.payload_offset)
+            # The PFS copy now reflects the authority over this record's
+            # span (version-ordered degraded reads, docs/MODEL.md §12).
+            # Skipped (lost) records keep their old stamp, so the read
+            # ladder knows the hole — the flushed-bytes counter alone
+            # cannot say which spans actually materialised.
+            session.pfs_versions.copy_from(session.data_versions,
+                                           record.offset, record.length)
         if lost_bytes > 0:
             system.telemetry_hook("flush-lost", session.path, lost_bytes)

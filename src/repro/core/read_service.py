@@ -116,30 +116,48 @@ class ReadService:
         """
         from repro.core.resilience import DataLossError
         system = self.system
+        stale_notes: list = []
         if system.config.resilience_enabled:
             try:
                 return system.resilience.resolve_replica(session, record)
-            except DataLossError:
-                pass
+            except DataLossError as err:
+                stale_notes.extend(err.stale_provenance)
         # The PFS copy is only authoritative when nothing newer sits
         # unflushed in the cache — repairing from a stale flush would be
-        # exactly the silent corruption this path exists to prevent.
+        # exactly the silent corruption this path exists to prevent.  The
+        # byte-count guard alone is not: a flush that skipped lost
+        # records still bumps the counter, so the ladder additionally
+        # demands the PFS version map match the authority over the span
+        # (version-ordered reads, docs/MODEL.md §12).
         pfs = self.machine.pfs_files
         if (session.flushed_bytes >= session.cached_bytes_written
                 and pfs.exists(session.path)):
-            extents = pfs.open(session.path).read_at(record.offset,
-                                                     record.length)
-            good = sum(e.length for e in extents
-                       if not isinstance(e.payload,
-                                         (ZeroPayload, CorruptPayload)))
-            if good >= record.length:
-                return extents
-        raise DataLossError(
+            pfs_stale = session.pfs_versions.stale_spans(
+                session.data_versions, record.offset, record.length)
+            if pfs_stale:
+                system.count("data-stale-reject")
+                stale_notes.extend(pfs_stale)
+            else:
+                extents = pfs.open(session.path).read_at(record.offset,
+                                                         record.length)
+                good = sum(e.length for e in extents
+                           if not isinstance(e.payload,
+                                             (ZeroPayload, CorruptPayload)))
+                if good >= record.length:
+                    return extents
+        message = (
             f"{session.path}: [{record.offset}, +{record.length}) has no "
             f"clean surviving copy (primary on node {record.node_id} dead "
-            f"or failed checksum verification)",
-            fid=record.fid, rank=record.proc_id, node=record.node_id,
-            offset=record.offset, length=record.length)
+            f"or failed checksum verification)")
+        if stale_notes:
+            message += ("; stale copies refused: "
+                        + "; ".join(s.describe() for s in stale_notes))
+        err = DataLossError(
+            message, fid=record.fid, rank=record.proc_id,
+            node=record.node_id, offset=record.offset,
+            length=record.length)
+        err.stale_provenance = tuple(stale_notes)
+        raise err
 
     def _pfs_namespace_extents(self, session, req):
         """Serve one request straight from the flushed PFS file, or
@@ -154,6 +172,12 @@ class ReadService:
         pfs = self.machine.pfs_files
         if (session.flushed_bytes < session.cached_bytes_written
                 or not pfs.exists(session.path)):
+            return None
+        if session.pfs_versions.stale_spans(session.data_versions,
+                                            req.offset, req.length):
+            # The flushed copy lags a newer write whose metadata is now
+            # unreachable — serving it would be a silent stale read.
+            self.system.count("data-stale-reject")
             return None
         extents = pfs.open(session.path).read_at(req.offset, req.length)
         good = sum(e.length for e in extents

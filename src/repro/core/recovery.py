@@ -109,6 +109,19 @@ class RecoveryService:
         if jobs:
             self.engine.process(self._replay_cost(server_id, jobs),
                                 name=f"journal-replay:server{server_id}")
+        if self.system.config.data_quorum >= 2:
+            # Epoch-aware data fencing (docs/MODEL.md §12): the fenced
+            # server's takeover bumped the affected ranges' epochs, so
+            # data copies stamped under the old epoch are suspect.
+            # Stale-mark them and rebuild from the surviving primaries —
+            # re-replication plus a scrub pass that refreshes every
+            # version-lagging replica span with current stamps.
+            self.system.mark_data_suspect(ri for ri, _p in actions)
+            if self.system.config.resilience_enabled:
+                self.system.rereplicate_pending()
+            scrub = getattr(self.system, "scrub", None)
+            if scrub is not None:
+                scrub.start_scrub()
 
     def _replay_cost(self, server_id: int,
                      jobs: List[Tuple[int, int, int]]) -> Generator:
@@ -327,6 +340,10 @@ class ScrubService:
             scanned += s
             repaired += r
             lost += l
+        if system.config.data_quorum >= 2:
+            refreshed = self._refresh_stale_replicas(session)
+            scanned += refreshed
+            repaired += refreshed
         return scanned, repaired, lost
 
     def _scrub_replicas(self, session) -> Tuple[float, float, float]:
@@ -349,6 +366,7 @@ class ScrubService:
                         float(ln))
                     continue
                 healed = 0.0
+                healed_records = []
                 for record in records:
                     if record.proc_id != rank:
                         continue
@@ -360,12 +378,19 @@ class ScrubService:
                         replica.write_at(ext.offset, ext.length,
                                          ext.payload, ext.payload_offset)
                         healed += ext.length
+                    healed_records.append(record)
                 if healed > 0:
                     repaired += healed
                     system.telemetry_hook(
                         "scrub-repair",
                         f"{session.path}:replica{rank}:[{off},+{ln})",
                         float(healed))
+                    # The healed spans now reflect the authority; stamp
+                    # them so version-ordered reads accept the repair.
+                    for record in healed_records:
+                        session.replica_map(rank).copy_from(
+                            session.data_versions, record.offset,
+                            record.length)
                 if healed < ln:
                     lost += ln - healed
                     system.telemetry_hook(
@@ -373,6 +398,44 @@ class ScrubService:
                         f"{session.path}:replica{rank}:[{off},+{ln})",
                         float(ln - healed))
         return scanned, repaired, lost
+
+    def _refresh_stale_replicas(self, session) -> float:
+        """Epoch-aware rebuild (``data_quorum >= 2``, docs/MODEL.md §12):
+        re-copy every replica span whose version map lags the authority
+        — fenced/taken-over copies, or replicas that missed an overwrite
+        — from a live current source, re-stamping with current
+        version/epoch.  Spans with no current source anywhere stay
+        stale: the read ladder keeps refusing them (an honest
+        :class:`DataLossError`), never serves them."""
+        system = self.system
+        refreshed = 0.0
+        for record in system.metadata.records_of(session.fid):
+            if not record.tier.is_node_local:
+                continue
+            vmap = session.replica_versions.get(record.proc_id)
+            if vmap is not None and not vmap.stale_spans(
+                    session.data_versions, record.offset, record.length):
+                continue
+            if vmap is None and not session.data_versions.spans(
+                    record.offset, record.length):
+                continue
+            try:
+                clean = system.read_service.resolve(session, record)
+            except (DataLossError, KeyError):
+                continue
+            replica = system.resilience.replica_file(session,
+                                                     record.proc_id)
+            for ext in clean:
+                replica.write_at(ext.offset, ext.length, ext.payload,
+                                 ext.payload_offset)
+            session.replica_map(record.proc_id).copy_from(
+                session.data_versions, record.offset, record.length)
+            refreshed += record.length
+        session.suspect_ranges.clear()
+        if refreshed > 0:
+            system.count("data-scrub-refresh", refreshed)
+            system.telemetry_hook("data-rebuild", session.path, refreshed)
+        return refreshed
 
     def _primary_extents(self, session, record: MetadataRecord):
         """Clean logical extents straight from the writer's log (replica

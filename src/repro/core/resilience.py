@@ -129,6 +129,11 @@ class ResilienceService:
             for extent in extents:
                 replica.write_at(extent.offset, extent.length,
                                  extent.payload, extent.payload_offset)
+            # The replica now reflects the authority over this record's
+            # span — stamp it so the version-ordered degraded read chain
+            # (docs/MODEL.md §12) knows this copy is current.
+            session.replica_map(record.proc_id).copy_from(
+                session.data_versions, record.offset, record.length)
         if lost_bytes > 0:
             system.telemetry_hook("replicate-lost", session.path,
                                   lost_bytes, t_start=t_start)
@@ -163,6 +168,14 @@ class ResilienceService:
                                    t_start=t_start)
         return pending
 
+    def note_synchronous_copy(self, session, nbytes: float) -> None:
+        """Credit bytes copied synchronously at write time (``data_quorum
+        >= 2``, docs/MODEL.md §12) against the async pass's pending
+        accounting, so the close-time replication no-ops instead of
+        re-copying what the write already made durable."""
+        self._replicated[session.path] = (
+            self._replicated.get(session.path, 0.0) + nbytes)
+
     # -- fail-over read path -------------------------------------------------
     def is_lost(self, record: MetadataRecord) -> bool:
         return (record.tier.is_node_local
@@ -179,6 +192,29 @@ class ResilienceService:
                 f"node {record.node_id} was never replicated",
                 fid=record.fid, rank=record.proc_id, node=record.node_id,
                 offset=record.offset, length=record.length)
+        # Version-ordered fallback (docs/MODEL.md §12): a replica holding
+        # an older write version for any byte of the span must never be
+        # served, even if its payload passes checksum verification —
+        # that is exactly the node-crash overwrite stale-serve gap.
+        vmap = session.replica_versions.get(record.proc_id)
+        stale = (session.data_versions.spans(record.offset, record.length)
+                 if vmap is None else
+                 vmap.stale_spans(session.data_versions, record.offset,
+                                  record.length))
+        if vmap is None:
+            from repro.core.versioning import StaleSpan
+            stale = [StaleSpan(s, e, 0, 0, v, ep) for s, e, v, ep in stale]
+        if stale:
+            self.system.count("data-stale-reject")
+            first = stale[0]
+            err = DataLossError(
+                f"{session.path}: replica of rank {record.proc_id} is "
+                f"stale — {first.describe()} — version-ordered fallback "
+                f"refuses to serve it",
+                fid=record.fid, rank=record.proc_id, node=record.node_id,
+                offset=first.start, length=first.end - first.start)
+            err.stale_provenance = tuple(stale)
+            raise err
         extents = replica.read_at(record.offset, record.length)
         for ext in extents:
             if isinstance(ext.payload, ZeroPayload):

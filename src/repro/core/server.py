@@ -26,6 +26,7 @@ from repro.core.dhp import DHPWriter, LogFile
 from repro.core.metadata import MetadataService
 from repro.core.scheduler import SchedulerService
 from repro.core.va import VirtualAddressSpace
+from repro.core.versioning import VersionMap
 from repro.core.workflow import WorkflowManager
 from repro.sim.engine import Engine, Event
 from repro.simmpi.comm import Communicator
@@ -60,6 +61,29 @@ class FileSession:
         #: Completion event of the most recent server-side flush.
         self.flush_event: Optional[Event] = None
         self.flushed_bytes = 0.0
+        #: Data-plane version ordering (docs/MODEL.md §12).  The
+        #: *authority* map records, per byte, the newest write version
+        #: (a per-session counter bumped once per collective write op)
+        #: plus the metadata range epoch current at write time.  Each
+        #: data *copy* — the per-rank resilience replica log and the
+        #: flushed PFS file — carries its own map stamped from the
+        #: authority at copy time; the degraded read chain refuses any
+        #: copy whose map lags the authority over the requested span.
+        self.write_version = 0
+        self.data_versions = VersionMap()
+        self.replica_versions: Dict[int, VersionMap] = {}
+        self.pfs_versions = VersionMap()
+        #: Metadata ranges whose owner was fenced/taken over while
+        #: ``data_quorum >= 2`` — scrub refreshes their data copies from
+        #: the surviving primaries (epoch-aware re-replication).
+        self.suspect_ranges: set = set()
+
+    def replica_map(self, rank: int) -> VersionMap:
+        """The version map of ``rank``'s replica log (lazily created)."""
+        vmap = self.replica_versions.get(rank)
+        if vmap is None:
+            vmap = self.replica_versions[rank] = VersionMap()
+        return vmap
 
     # -- DHP plumbing ----------------------------------------------------
     def writer_for(self, comm: Communicator, rank: int) -> DHPWriter:
@@ -168,6 +192,10 @@ class UniviStorServers:
         self.hotspot = (HotspotManager(self) if config.hotspot_enabled
                         else None)
         if config.resilience_enabled:
+            self._check_tier_available(StorageTier.SHARED_BB)
+        if config.data_quorum >= 2:
+            # The synchronous second copy lands on the shared BB — the
+            # quorum is meaningless without a second failure domain.
             self._check_tier_available(StorageTier.SHARED_BB)
 
     def telemetry_hook(self, op: str, path: str, nbytes: float,
@@ -378,6 +406,21 @@ class UniviStorServers:
                                     self.resilience.pending_bytes(
                                         session))
                 self.resilience.start_replication(session)
+
+    def mark_data_suspect(self, range_indices) -> None:
+        """Stale-mark data copies after a fence/takeover (docs/MODEL.md
+        §12): every session notes the affected metadata ranges so the
+        next scrub pass refreshes their replica copies from the
+        surviving primaries with current version/epoch stamps.  The
+        per-read version check is the serve gate in the meantime — a
+        marked-but-current copy may serve, a stale one never does."""
+        marked = 0
+        for session in self._sessions.values():
+            before = len(session.suspect_ranges)
+            session.suspect_ranges.update(range_indices)
+            marked += len(session.suspect_ranges) - before
+        if marked:
+            self.count("data-stale-mark", marked)
 
     # -- fault-tolerant I/O ------------------------------------------------
     def timed_io(self, make_event, label: str) -> Event:
