@@ -159,6 +159,42 @@ def compare(prev: dict, curr: dict) -> list:
     return regressions
 
 
+def profile_bench(bench: str) -> int:
+    """Run one bench selection under cProfile.
+
+    Writes ``results/profile_<bench>.txt`` (top 30 by cumulative time)
+    so a kernel PR can show exactly where the wall time went.  Runs
+    pytest in-process — cProfile cannot see across a subprocess."""
+    import cProfile
+    import io
+    import pstats
+
+    import pytest
+
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    # --benchmark-disable: the fixture calls the function exactly once
+    # (no calibration loop), which is both what a profile should show
+    # and the only mode that nests cleanly inside an active profiler.
+    rc = pytest.main([BENCH_FILE, "-q", "-k", bench,
+                      "--benchmark-disable",
+                      "-p", "no:cacheprovider"])
+    profiler.disable()
+    out_dir = os.path.join(REPO_ROOT, "results")
+    os.makedirs(out_dir, exist_ok=True)
+    out_path = os.path.join(out_dir, f"profile_{bench}.txt")
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats(
+        "cumulative").print_stats(30)
+    with open(out_path, "w") as fh:
+        fh.write(buf.getvalue())
+    print(f"profile written to {out_path}")
+    return int(rc)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
@@ -180,7 +216,19 @@ def main(argv=None) -> int:
                         help="run with REPRO_HOTSPOT=0 (static range "
                              "layout) — records the 'before' point of "
                              "the hot-range mitigation pair")
+    parser.add_argument("--profile", default=None, metavar="BENCH",
+                        help="run BENCH (a pytest -k selection) under "
+                             "cProfile and write "
+                             "results/profile_<BENCH>.txt (top 30 "
+                             "cumulative); skips the trajectory")
+    parser.add_argument("--github-warnings", action="store_true",
+                        help="emit a ::warning:: annotation per bench "
+                             "that regressed >10%% vs the previous "
+                             "trajectory entry (non-gating; for CI)")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        return profile_bench(args.profile)
 
     if args.quick:
         selection = " or ".join(QUICK_BENCHES)
@@ -215,9 +263,14 @@ def main(argv=None) -> int:
         "benchmarks": benches,
     }
     if trajectory["runs"]:
-        compare(trajectory["runs"][-1]["benchmarks"], benches)
+        regressions = compare(trajectory["runs"][-1]["benchmarks"], benches)
     else:
-        compare({}, benches)
+        regressions = compare({}, benches)
+    if args.github_warnings:
+        for name in regressions:
+            print(f"::warning title=bench regression::{name} regressed "
+                  f">10% vs the previous BENCH_simulator.json entry "
+                  f"(non-gating; shared runners are noisy)")
     if args.dry_run:
         print("\n--dry-run: trajectory not updated")
         return 0

@@ -288,11 +288,12 @@ class TestWriteQuorumOverhead:
 
 
 class TestFullStackThroughput:
-    def _run_micro(self, procs):
-        sim, fstype = build_simulation(procs, "UniviStor/DRAM")
+    def _run_micro(self, procs, bytes_per_proc=256 * MiB, config=None):
+        sim, fstype = build_simulation(procs, "UniviStor/DRAM",
+                                       config=config)
         comm = sim.comm("iobench", size=procs)
         bench = MicroBench(sim, comm, "/pfs/m.h5", fstype,
-                           bytes_per_proc=256 * MiB)
+                           bytes_per_proc=bytes_per_proc)
 
         def app():
             yield from bench.write_phase()
@@ -312,6 +313,22 @@ class TestFullStackThroughput:
         total = benchmark.pedantic(self._run_micro, args=(8192,),
                                    rounds=1, iterations=1)
         assert total == 8192 * 256 * MiB
+
+    def test_micro_100k_procs_wall_time(self, benchmark):
+        """Full write+read at 100 000 ranks (3125 nodes) on a sharded
+        engine — the ROADMAP's whole-machine-rank-count scale gate.
+
+        Per-rank payload is small (1 MiB): the point is rank-count
+        scaling of the kernel, collective, and metadata paths, not
+        bytes.  Uses one engine shard per ~256 nodes so the epoch merge
+        is exercised at scale; digests are engine-layout-invariant, so
+        the workload is identical to a single-queue run."""
+        from repro.experiments.common import univistor_config_for
+        config = univistor_config_for("UniviStor/DRAM", engine_shards=13)
+        total = benchmark.pedantic(self._run_micro,
+                                   args=(100_000, 1 * MiB, config),
+                                   rounds=1, iterations=1)
+        assert total == 100_000 * 1 * MiB
 
 
 class TestMultiJobThroughput:

@@ -7,11 +7,12 @@ Subcommands::
     repro vpic      --procs N --system SYSTEM [--steps S] [--compute SEC]
     repro workflow  --procs N --system SYSTEM [--steps S] [--overlap]
     repro chaos     [--seeds N] [--first-seed S]
-                    [--mix storm|partition|hotspot]
+                    [--mix storm|storm_legacy|partition|hotspot|storm2]
                     [--baseline] [--jobs N] [--verbose] [--lease-ttl T]
                     [--heartbeat-interval T] [--suspect-heartbeats K]
                     [--dead-heartbeats K]
     repro figures   [--sweep paper|small|...] [--out DIR] [--only fig6a,..]
+    repro bench     [run_bench.py args] [--profile BENCH]
     repro workload  generate --out TRACE [--jobs N] [--mix MIX] [--seed S]
     repro workload  run [--trace TRACE] [--strategy NAME] [spec knobs]
     repro workload  compare-strategies [--trace TRACE] [--strategies A,B]
@@ -368,6 +369,27 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
                    help="seed for probabilistic fault timelines")
 
 
+def cmd_bench(bench_args: List[str]) -> int:
+    """Forward to ``benchmarks/run_bench.py`` (the perf-trajectory
+    harness), so ``repro bench --quick`` / ``repro bench --profile
+    test_event_loop_throughput`` work from the CLI.  Source-checkout
+    only: the benchmarks directory rides next to ``src/``, not inside
+    the installed package."""
+    import importlib.util
+    import os
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    path = os.path.join(root, "benchmarks", "run_bench.py")
+    if not os.path.exists(path):
+        print("error: benchmarks/run_bench.py not found (repro bench "
+              "needs a source checkout)", file=sys.stderr)
+        return 2
+    spec = importlib.util.spec_from_file_location("_repro_run_bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main(bench_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="UniviStor reproduction toolkit")
@@ -469,6 +491,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-seed read counts and digests")
     p.set_defaults(fn=cmd_chaos)
 
+    p = sub.add_parser("bench",
+                       help="record the perf trajectory "
+                            "(benchmarks/run_bench.py; --profile BENCH "
+                            "writes results/profile_<BENCH>.txt)")
+    p.add_argument("bench_args", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to run_bench.py")
+
     p = sub.add_parser("figures",
                        help="regenerate the paper's figures (runall)")
     p.add_argument("--sweep", default=None)
@@ -503,6 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        # Forwarded verbatim: run_bench.py owns the flag set, so the
+        # dispatcher must not try to parse (or grow stale copies of)
+        # its options.
+        return cmd_bench(argv[1:])
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

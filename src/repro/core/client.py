@@ -19,6 +19,7 @@ servers:
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional
 
@@ -153,9 +154,13 @@ class UniviStorDriver(ADIODriver):
                     raise
             writer = session.writer_for(comm, req.rank)
             if meta_batch and pending_spans:
+                # pending_spans is kept sorted and its spans are pairwise
+                # disjoint (an overlap ships and resets the list), so the
+                # only candidate overlap is the rightmost span starting
+                # before req's end — an O(log n) probe instead of a scan.
                 req_end = req.offset + req.length
-                if any(req.offset < s_end and s_off < req_end
-                       for s_off, s_end in pending_spans):
+                i = bisect_left(pending_spans, (req_end,))
+                if i > 0 and pending_spans[i - 1][1] > req.offset:
                     # An intra-op overwrite: ship what's pending so the
                     # free-overwritten pass (and the DHP free-chunk
                     # accounting behind it) sees the earlier records of
@@ -248,7 +253,7 @@ class UniviStorDriver(ADIODriver):
                         metadata.insert_many(records)
                         raise
                 pending.extend(records)
-                pending_spans.append((req.offset, req.offset + req.length))
+                insort(pending_spans, (req.offset, req.offset + req.length))
             else:
                 touched = metadata.insert_many(records)
                 cache = system.location_cache

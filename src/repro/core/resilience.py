@@ -91,7 +91,8 @@ class ResilienceService:
             self._events[session.path] = ev
             return ev
         proc = self.engine.process(self._replicate(session, pending),
-                                   name=f"replicate:{session.path}")
+                                   name=f"replicate:{session.path}",
+                                   shard=session.fid)
         self._events[session.path] = proc
         return proc
 

@@ -9,14 +9,45 @@ inside a process runs in zero simulated time.
 Determinism guarantees
 ----------------------
 Events scheduled for the same simulated time fire in the order they were
-scheduled (FIFO, enforced by a sequence counter used as a heap tie-breaker).
-Nothing in the kernel consults wall-clock time or global random state, so a
-simulation is a pure function of its inputs.
+scheduled (FIFO, enforced by a sequence counter used as a total-order
+tie-breaker).  Nothing in the kernel consults wall-clock time or global
+random state, so a simulation is a pure function of its inputs.
+
+Scheduler architecture (docs/MODEL.md §13)
+------------------------------------------
+Scheduling is a two-stage pipeline.  Every schedule operation appends to
+a creation-ordered *pending* list; events are *flushed* into the sorted
+structure (binary heap, or calendar buckets when ``bucket_width > 0``)
+only when the dispatch loop actually needs an ordering decision.  The
+sequence tie-breaker is assigned at flush time — the pending list is
+FIFO, so flush order equals creation order and the dispatch order is
+bit-identical to the classic schedule-time assignment, while events
+consumed before ever reaching the heap pay no heap cost at all.
+
+Three kernel layouts share that pipeline:
+
+* ``shards=1, bucket_width=0`` (default) — single binary heap plus two
+  fast paths: a sole pending event bypasses the heap entirely, and
+  :meth:`Process._resume` hands a freshly scheduled sole-runnable event
+  straight back to the running process (*direct handoff*), recycling the
+  consumed :class:`Timeout` through a free slot when a refcount check
+  proves no simulation code retained it.
+* ``shards=1, bucket_width=w`` — a calendar queue: events land in flat
+  time buckets of width ``w`` (sorted lazily per bucket), with the same
+  ``(time, seq)`` order as the heap.
+* ``shards=N`` — per-shard event queues with a deterministic cross-shard
+  merge: dispatch always picks the globally smallest ``(time, seq)``
+  among shard heads, and advances in bounded time *epochs* (an epoch
+  barrier every ``epoch_length`` simulated seconds).  Because ``seq`` is
+  global, the merged order is bit-identical to the single-queue order
+  for any shard count — sharding is a locality lever, never a semantics
+  knob.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
@@ -48,6 +79,15 @@ class Interrupt(Exception):
 
 # Sentinel distinguishing "not triggered" from "triggered with value None".
 _PENDING = object()
+_INF = float("inf")
+# _run_until value outside run()/run_process(): direct handoff requires
+# _when <= _run_until, so -inf disables it (step() must dispatch exactly
+# one event per call).
+_NEG_INF = float("-inf")
+# Bound as Engine._heap in bucket/sharded modes: truthy, so the
+# handoff/sole-pending fast paths (which require an *empty* heap) are
+# structurally disabled without an extra mode check on the hot path.
+_DISABLED = (None,)
 
 
 class Event:
@@ -58,7 +98,8 @@ class Event:
     the event are resumed in FIFO order when it triggers.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "name")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "name",
+                 "_when", "_seq", "_shard")
 
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
@@ -99,8 +140,9 @@ class Event:
         # Open-coded Engine._schedule: succeed() is the hottest trigger
         # path (every resource grant and transfer completion lands here).
         engine = self.engine
-        engine._seq = seq = engine._seq + 1
-        heappush(engine._queue, (engine._now, seq, self))
+        self._when = engine._now
+        self._shard = engine._active_shard
+        engine._pending.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -112,8 +154,9 @@ class Event:
         self._ok = False
         self._value = exception
         engine = self.engine
-        engine._seq = seq = engine._seq + 1
-        heappush(engine._queue, (engine._now, seq, self))
+        self._when = engine._now
+        self._shard = engine._active_shard
+        engine._pending.append(self)
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -141,8 +184,12 @@ class Timeout(Event):
         self._value = value
         self.name = name
         self.delay = delay
-        engine._seq = seq = engine._seq + 1
-        heappush(engine._queue, (engine._now + delay, seq, self))
+        self._when = engine._now + delay
+        self._shard = engine._active_shard
+        engine._pending.append(self)
+
+
+_new_timeout = Timeout.__new__
 
 
 class Initialize:
@@ -153,15 +200,16 @@ class Initialize:
     and starting a process allocates one slot plus one list.
     """
 
-    __slots__ = ("callbacks",)
+    __slots__ = ("callbacks", "_when", "_seq", "_shard")
 
     _ok = True
     _value = None
 
     def __init__(self, engine: "Engine", process: "Process"):
         self.callbacks = [process._resume]
-        engine._seq = seq = engine._seq + 1
-        heappush(engine._queue, (engine._now, seq, self))
+        self._when = engine._now
+        self._shard = process._shard
+        engine._pending.append(self)
 
 
 class Process(Event):
@@ -170,12 +218,18 @@ class Process(Event):
     The process object is itself an event that triggers when the generator
     returns (value = the generator's return value) or raises (failure).
     Other processes may therefore ``yield`` a process to join it.
+
+    ``shard`` pins the process (and every event it schedules while
+    running) to an engine shard; the default inherits the shard of the
+    process that spawned it.  Any integer key is accepted — it is reduced
+    modulo the engine's shard count, so callers can pass node ids or file
+    ids directly.  On a single-shard engine the key is inert.
     """
 
     __slots__ = ("_generator", "_target", "_send", "_throw")
 
     def __init__(self, engine: "Engine", generator: Generator,
-                 name: str = ""):
+                 name: str = "", shard: Optional[int] = None):
         if not hasattr(generator, "send"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(engine, name=name or getattr(generator, "__name__", ""))
@@ -184,6 +238,10 @@ class Process(Event):
         # attribute chain through the generator costs there.
         self._send = generator.send
         self._throw = generator.throw
+        if shard is None:
+            self._shard = engine._active_shard
+        else:
+            self._shard = shard % engine._nshards
         self._target: Optional[Event] = Initialize(engine, self)
 
     @property
@@ -214,6 +272,11 @@ class Process(Event):
         engine = self.engine
         engine._active_process = self
         send = self._send
+        pending = engine._pending
+        heap = engine._heap
+        until = engine._run_until
+        refcount = getrefcount
+        timeout_cls = Timeout
         while True:
             try:
                 if event._ok:
@@ -223,36 +286,60 @@ class Process(Event):
             except StopIteration as stop:
                 self._target = None
                 engine._active_process = None
-                super().succeed(stop.value)
+                self._value = stop.value
+                self._when = engine._now
+                pending.append(self)
                 return
             except BaseException as err:
                 self._target = None
                 engine._active_process = None
-                if engine.strict and self.callbacks:
-                    # Someone is joining this process: deliver the failure
-                    # to them instead of crashing the whole simulation.
-                    super().fail(err)
-                    return
                 if engine.strict:
-                    super().fail(err)
-                    engine._record_crash(self, err)
+                    # With joiners the failure is delivered to them; with
+                    # none it is recorded and re-raised by run() — crashing
+                    # a process is a bug in simulation code either way.
+                    self._ok = False
+                    self._value = err
+                    self._when = engine._now
+                    pending.append(self)
+                    if not self.callbacks:
+                        engine._record_crash(self, err)
                     return
                 raise
 
-            if not isinstance(next_event, Event):
+            try:
+                cbs = next_event.callbacks
+            except AttributeError:
                 engine._active_process = None
                 raise SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
-                )
-            if next_event.engine is not engine:
-                engine._active_process = None
-                raise SimulationError("yielded an event from a different engine")
-
-            if next_event.callbacks is None:
+                ) from None
+            if cbs is None:
                 # Already processed: continue immediately with its outcome.
                 event = next_event
                 continue
-            next_event.callbacks.append(self._resume)
+            # Direct handoff: the event just yielded is the sole runnable
+            # event in the whole engine (nothing in the heap, pending holds
+            # exactly it, no other waiters) and fires within the run bound —
+            # dispatch it inline instead of suspending back to the run loop.
+            # This is exactly what the run loop would do next; determinism
+            # is untouched.  The event consumed on the *previous* lap is
+            # recycled through the engine's free slot when the refcount
+            # proves nothing outside this frame still references it.
+            if (not heap and not cbs and len(pending) == 1
+                    and pending[0] is next_event
+                    and next_event._when <= until):
+                del pending[:]
+                engine._now = next_event._when
+                next_event.callbacks = None
+                if event.__class__ is timeout_cls and refcount(event) == 2:
+                    engine._free = event
+                    engine._free_cbs = cbs
+                event = next_event
+                continue
+            if next_event.engine is not engine:
+                engine._active_process = None
+                raise SimulationError("yielded an event from a different engine")
+            cbs.append(self._resume)
             self._target = next_event
             engine._active_process = None
             return
@@ -319,6 +406,97 @@ class AnyOf(_Condition):
         self.succeed((event, event._value))
 
 
+class _HeapKernel:
+    """Per-shard sorted queue: a plain binary heap of (when, seq, event)."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self):
+        self._heap: list = []
+
+    def push(self, when: float, seq: int, event) -> None:
+        heappush(self._heap, (when, seq, event))
+
+    def peek_key(self):
+        heap = self._heap
+        if heap:
+            head = heap[0]
+            return (head[0], head[1])
+        return None
+
+    def pop(self):
+        return heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _BucketKernel:
+    """Calendar queue: flat time buckets of ``width`` simulated seconds.
+
+    The dominant event population in this simulator is short-delay
+    timeouts clustered near ``now``; bucketing them turns most pushes
+    into a dict lookup plus a list append.  Each bucket is kept unsorted
+    until the dispatcher reaches it, then sorted *descending* by
+    ``(when, seq)`` so the minimum pops from the end in O(1); same-bucket
+    arrivals mark it dirty for a (Timsort-cheap) re-sort.  The order
+    popped is exactly the heap's ``(when, seq)`` total order, so the
+    bucket width is a performance knob with zero semantic footprint.
+    """
+
+    __slots__ = ("width", "_buckets", "_idx_heap", "_dirty", "_len")
+
+    def __init__(self, width: float):
+        self.width = width
+        self._buckets: dict = {}     # bucket index -> [(when, seq, event)]
+        self._idx_heap: list = []    # heap of live bucket indices
+        self._dirty: set = set()     # buckets appended-to since last sort
+        self._len = 0
+
+    def push(self, when: float, seq: int, event) -> None:
+        idx = int(when / self.width)
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            self._buckets[idx] = [(when, seq, event)]
+            heappush(self._idx_heap, idx)
+        else:
+            bucket.append((when, seq, event))
+            self._dirty.add(idx)
+        self._len += 1
+
+    def _front(self):
+        """The bucket list holding the global minimum (min entry last)."""
+        buckets = self._buckets
+        idx_heap = self._idx_heap
+        while idx_heap:
+            idx = idx_heap[0]
+            bucket = buckets.get(idx)
+            if not bucket:
+                heappop(idx_heap)
+                buckets.pop(idx, None)
+                continue
+            if idx in self._dirty:
+                bucket.sort(reverse=True)
+                self._dirty.discard(idx)
+            return bucket
+        return None
+
+    def peek_key(self):
+        bucket = self._front()
+        if bucket is None:
+            return None
+        head = bucket[-1]
+        return (head[0], head[1])
+
+    def pop(self):
+        item = self._front().pop()
+        self._len -= 1
+        return item
+
+    def __len__(self) -> int:
+        return self._len
+
+
 class Engine:
     """The discrete-event scheduler.
 
@@ -329,13 +507,60 @@ class Engine:
         process event (joiners see it) and is re-raised by :meth:`run` if the
         crash was never observed.  When False the exception propagates
         immediately.
+    shards:
+        Number of event queues (default 1).  Events are routed to the
+        shard of the process that scheduled them (see
+        :class:`Process`); dispatch merges shard heads in global
+        ``(time, seq)`` order, so any shard count produces bit-identical
+        simulations — sharding only changes queue locality.
+    bucket_width:
+        Calendar-queue bucket width in simulated seconds for each shard
+        kernel; ``0`` (default) selects the binary heap.  Purely a
+        performance knob: dispatch order is identical for any width.
+    epoch_length:
+        Sharded mode only: simulated seconds per merge epoch.  The
+        dispatch loop re-derives the epoch window (a barrier across all
+        shards) every ``epoch_length`` seconds; :attr:`epochs` counts
+        completed windows.
     """
 
-    def __init__(self, strict: bool = True):
+    def __init__(self, strict: bool = True, shards: int = 1,
+                 bucket_width: float = 0.0, epoch_length: float = 1.0):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if bucket_width < 0:
+            raise ValueError(f"negative bucket_width: {bucket_width}")
+        if epoch_length <= 0:
+            raise ValueError(f"epoch_length must be > 0, got {epoch_length}")
         self._now: float = 0.0
-        self._queue: list = []
         self._seq: int = 0
+        #: Creation-ordered staging list shared by every schedule path;
+        #: flushed (seq assignment + kernel insertion) lazily.  The list
+        #: object is never rebound — hot paths alias it.
+        self._pending: list = []
+        self._nshards = int(shards)
+        self._bucket_width = float(bucket_width)
+        self._epoch_length = float(epoch_length)
+        self._epochs = 0
+        if self._nshards == 1 and self._bucket_width == 0.0:
+            self._heap: Any = []
+            self._kernels: Optional[list] = None
+        else:
+            self._heap = _DISABLED
+            if self._bucket_width > 0.0:
+                self._kernels = [_BucketKernel(self._bucket_width)
+                                 for _ in range(self._nshards)]
+            else:
+                self._kernels = [_HeapKernel()
+                                 for _ in range(self._nshards)]
+        # Single-slot Timeout free list fed by the direct-handoff path
+        # (see Process._resume); _free_cbs is the matching empty
+        # callbacks list so reuse allocates nothing.
+        self._free: Optional[Timeout] = None
+        self._free_cbs: Optional[list] = None
         self._active_process: Optional[Process] = None
+        self._active_shard: int = 0
+        self._run_until: float = _NEG_INF
         self.strict = strict
         self._crashes: list = []
         # Monotonic id source usable by layers above (files, segments, ...).
@@ -350,6 +575,19 @@ class Engine:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
+    @property
+    def shards(self) -> int:
+        return self._nshards
+
+    @property
+    def bucket_width(self) -> float:
+        return self._bucket_width
+
+    @property
+    def epochs(self) -> int:
+        """Completed merge-epoch windows (sharded mode; 0 otherwise)."""
+        return self._epochs
+
     def next_id(self) -> int:
         """Return a fresh engine-unique integer id."""
         self._id_counter += 1
@@ -360,10 +598,37 @@ class Engine:
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
-        return Timeout(self, delay, value=value, name=name)
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        # Reuse the free-slot Timeout when the handoff path proved the
+        # previous one dead; otherwise build one without the class-call
+        # overhead.  Both paths mirror Timeout.__init__ exactly.
+        t = self._free
+        if t is not None:
+            self._free = None
+            t.callbacks = self._free_cbs
+            t._value = value
+            t.name = name
+            t.delay = delay
+            t._when = self._now + delay
+            t._shard = self._active_shard
+            self._pending.append(t)
+            return t
+        t = _new_timeout(Timeout)
+        t.engine = self
+        t.callbacks = []
+        t._ok = True
+        t._value = value
+        t.name = name
+        t.delay = delay
+        t._when = self._now + delay
+        t._shard = self._active_shard
+        self._pending.append(t)
+        return t
 
-    def process(self, generator: Generator, name: str = "") -> Process:
-        return Process(self, generator, name=name)
+    def process(self, generator: Generator, name: str = "",
+                shard: Optional[int] = None) -> Process:
+        return Process(self, generator, name=name, shard=shard)
 
     def call_later(self, delay: float, fn) -> Timeout:
         """Run ``fn(event)`` after ``delay`` simulated seconds.
@@ -384,8 +649,30 @@ class Engine:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        self._seq = seq = self._seq + 1
-        heappush(self._queue, (self._now + delay, seq, event))
+        event._when = self._now + delay
+        event._shard = self._active_shard
+        self._pending.append(event)
+
+    def _flush(self) -> None:
+        """Move pending events into the sorted kernel(s), assigning the
+        sequence tie-breaker in creation order (the pending list is FIFO,
+        so this yields the same total order as schedule-time seqs)."""
+        pending = self._pending
+        seq = self._seq
+        kernels = self._kernels
+        if kernels is None:
+            heap = self._heap
+            for e in pending:
+                seq += 1
+                e._seq = seq
+                heappush(heap, (e._when, seq, e))
+        else:
+            for e in pending:
+                seq += 1
+                e._seq = seq
+                kernels[e._shard].push(e._when, seq, e)
+        self._seq = seq
+        del pending[:]
 
     def _record_crash(self, process: Process, err: BaseException) -> None:
         self._crashes.append((process, err))
@@ -396,11 +683,31 @@ class Engine:
     # and the method-call + attribute overhead dominates kernel cost.
     # Dispatch order is exactly step()'s, so determinism is unaffected.
 
+    def _min_kernel(self):
+        """The kernel holding the globally smallest (when, seq), or None."""
+        best_key = None
+        best_kernel = None
+        for kernel in self._kernels:
+            key = kernel.peek_key()
+            if key is not None and (best_key is None or key < best_key):
+                best_key = key
+                best_kernel = kernel
+        return best_key, best_kernel
+
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
-            raise SimulationError("no scheduled events")
-        when, _seq, event = heappop(self._queue)
+        if self._pending:
+            self._flush()
+        if self._kernels is None:
+            if not self._heap:
+                raise SimulationError("no scheduled events")
+            when, _seq, event = heappop(self._heap)
+        else:
+            _key, kernel = self._min_kernel()
+            if kernel is None:
+                raise SimulationError("no scheduled events")
+            when, _seq, event = kernel.pop()
+            self._active_shard = event._shard
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self._now = when
@@ -416,67 +723,151 @@ class Engine:
 
     def peek(self) -> float:
         """Simulated time of the next event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._pending:
+            self._flush()
+        if self._kernels is None:
+            return self._heap[0][0] if self._heap else _INF
+        key, _kernel = self._min_kernel()
+        return key[0] if key is not None else _INF
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or simulated time reaches ``until``."""
         if until is not None and until < self._now:
             raise ValueError(f"until={until} lies in the past (now={self._now})")
-        queue = self._queue
-        pop = heappop
-        if until is None:
-            while queue:
-                when, _seq, event = pop(queue)
-                self._now = when
-                callbacks = event.callbacks
-                event.callbacks = None  # mark processed
-                if callbacks:
-                    if len(callbacks) == 1:
-                        callbacks[0](event)
-                    else:
-                        for callback in callbacks:
-                            callback(event)
+        if self._kernels is not None:
+            self._run_merged(until, None)
         else:
-            while queue:
-                if queue[0][0] > until:
-                    break
-                when, _seq, event = pop(queue)
-                self._now = when
-                callbacks = event.callbacks
-                event.callbacks = None  # mark processed
-                if callbacks:
-                    if len(callbacks) == 1:
-                        callbacks[0](event)
+            bound = _INF if until is None else until
+            pending = self._pending
+            heap = self._heap
+            pop = heappop
+            self._run_until = bound
+            try:
+                while True:
+                    if pending:
+                        if len(pending) == 1 and not heap:
+                            event = pending[0]
+                            if event._when > bound:
+                                break
+                            del pending[:]
+                        else:
+                            self._flush()
+                            if heap[0][0] > bound:
+                                break
+                            _w, _s, event = pop(heap)
+                    elif heap:
+                        if heap[0][0] > bound:
+                            break
+                        _w, _s, event = pop(heap)
                     else:
-                        for callback in callbacks:
-                            callback(event)
+                        break
+                    self._now = event._when
+                    callbacks = event.callbacks
+                    event.callbacks = None  # mark processed
+                    if callbacks:
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
+            finally:
+                self._run_until = _NEG_INF
+        if until is not None:
             self._now = until
         self._raise_unobserved_crash()
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Convenience: spawn ``generator``, run to completion, return value."""
         proc = self.process(generator, name=name)
-        queue = self._queue
-        pop = heappop
-        while proc._value is _PENDING:
-            if not queue:
-                raise SimulationError(
-                    f"deadlock: process {proc.name!r} is blocked and no events remain"
-                )
-            when, _seq, event = pop(queue)
-            self._now = when
-            callbacks = event.callbacks
-            event.callbacks = None  # mark processed
-            if callbacks:
-                if len(callbacks) == 1:
-                    callbacks[0](event)
-                else:
-                    for callback in callbacks:
-                        callback(event)
+        if self._kernels is not None:
+            self._run_merged(None, proc)
+        else:
+            pending = self._pending
+            heap = self._heap
+            pop = heappop
+            self._run_until = _INF
+            try:
+                while proc._value is _PENDING:
+                    if pending:
+                        if len(pending) == 1 and not heap:
+                            event = pending.pop()
+                        else:
+                            self._flush()
+                            _w, _s, event = pop(heap)
+                    elif heap:
+                        _w, _s, event = pop(heap)
+                    else:
+                        raise SimulationError(
+                            f"deadlock: process {proc.name!r} is blocked "
+                            f"and no events remain")
+                    self._now = event._when
+                    callbacks = event.callbacks
+                    event.callbacks = None  # mark processed
+                    if callbacks:
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
+            finally:
+                self._run_until = _NEG_INF
         self._raise_unobserved_crash()
         if not proc._ok:
             raise proc._value
         return proc._value
+
+    def _run_merged(self, until: Optional[float],
+                    proc: Optional[Process]) -> None:
+        """Dispatch loop for bucket and sharded kernels.
+
+        Advances in bounded time epochs: each outer lap derives a window
+        ``[head, head + epoch_length]`` from the globally smallest shard
+        head, then drains every event inside the window in ``(when, seq)``
+        merge order before re-deriving (the epoch barrier).  With one
+        kernel the merge scan degenerates to a peek; with ``proc`` set the
+        loop behaves like :meth:`run_process` (deadlock detection, stop on
+        completion); with ``until`` set like :meth:`run` (stop at bound).
+        """
+        bound = _INF if until is None else until
+        pending = self._pending
+        while True:
+            if proc is not None and proc._value is not _PENDING:
+                break
+            if pending:
+                self._flush()
+            key, kernel = self._min_kernel()
+            if kernel is None:
+                if proc is not None:
+                    raise SimulationError(
+                        f"deadlock: process {proc.name!r} is blocked "
+                        f"and no events remain")
+                break
+            if key[0] > bound:
+                break
+            epoch_end = key[0] + self._epoch_length
+            if epoch_end > bound:
+                epoch_end = bound
+            self._epochs += 1
+            while True:
+                when, _seq, event = kernel.pop()
+                self._now = when
+                self._active_shard = event._shard
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                if proc is not None and proc._value is not _PENDING:
+                    break
+                if pending:
+                    self._flush()
+                key, kernel = self._min_kernel()
+                if kernel is None or key[0] > epoch_end:
+                    break  # epoch barrier
+        self._active_shard = 0
 
     def _raise_unobserved_crash(self) -> None:
         for process, err in self._crashes:

@@ -228,14 +228,14 @@ class BandwidthResource:
             if lat > 0:
                 def _finish(ev, event=event, flow=flow):
                     event.succeed(flow)
-                self.engine.timeout(lat).callbacks.append(_finish)
+                self.engine.call_later(lat, _finish)
             else:
                 event.succeed(flow)
             return event
         if lat > 0:
             def _admit(ev, flow=flow):
                 self._admit(flow)
-            self.engine.timeout(lat).callbacks.append(_admit)
+            self.engine.call_later(lat, _admit)
         else:
             self._admit(flow)
         return event
@@ -393,4 +393,4 @@ class BandwidthResource:
             self._advance()
             self._reschedule()
 
-        self.engine.timeout(horizon).callbacks.append(_wake)
+        self.engine.call_later(horizon, _wake)

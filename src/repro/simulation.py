@@ -46,11 +46,19 @@ class Simulation:
     """One job: engine + machine + ADIO registry + telemetry."""
 
     def __init__(self, spec: Optional[MachineSpec] = None,
-                 pfs_files=None):
+                 pfs_files=None, engine_shards: int = 1,
+                 engine_bucket_width: float = 0.0):
         """``pfs_files``: pass a previous job's ``sim.machine.pfs_files``
         to model a follow-up job — cached tiers start empty (they are
-        job-scoped, §I) but everything flushed to Lustre persists."""
-        self.engine = Engine()
+        job-scoped, §I) but everything flushed to Lustre persists.
+
+        ``engine_shards`` / ``engine_bucket_width`` select the event-engine
+        kernel layout (docs/MODEL.md §13).  Both are pure performance
+        knobs: any value is bit-identical to the defaults.  They usually
+        arrive via :class:`UniviStorConfig` (``build_simulation`` and the
+        chaos harness forward them)."""
+        self.engine = Engine(shards=engine_shards,
+                             bucket_width=engine_bucket_width)
         self.machine = Machine(self.engine, spec, pfs_files=pfs_files)
         self.registry = DriverRegistry()
         self.telemetry = Telemetry(self.engine)
@@ -150,8 +158,12 @@ class Simulation:
                                       fstype=fstype, hints=hints)
         return result
 
-    def spawn(self, generator: Generator, name: str = "") -> Process:
-        return self.engine.process(generator, name=name)
+    def spawn(self, generator: Generator, name: str = "",
+              shard: Optional[int] = None) -> Process:
+        """Spawn a process.  ``shard`` pins it (any integer key, reduced
+        modulo ``engine.shards``) to an engine event queue; the default
+        inherits the spawner's shard.  Inert on a single-shard engine."""
+        return self.engine.process(generator, name=name, shard=shard)
 
     def run(self, until: Optional[float] = None) -> None:
         self.engine.run(until=until)

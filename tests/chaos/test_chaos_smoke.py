@@ -336,12 +336,65 @@ class TestStorm2Determinism:
         assert a.digest != b.digest
 
     def test_version_maps_inert_on_legacy_mixes(self):
-        # The always-on version stamping is pure bookkeeping: a storm
-        # run with the feature merely present (data_quorum=1 default)
-        # replays the pre-quorum golden digests bit-identically — same
-        # bar as the hotspot knobs (test_disabled_knobs_are_inert).
-        golden = run_one(7, hardened=True)
-        again = run_one(7, hardened=True,
-                        config=replace(_config(True), data_quorum=1))
+        # The always-on version stamping is pure bookkeeping: a
+        # storm_legacy run (data_quorum=1, the pre-quorum deployment)
+        # with the feature merely present replays the pre-quorum golden
+        # digests bit-identically — same bar as the hotspot knobs
+        # (test_disabled_knobs_are_inert).
+        golden = run_one(7, hardened=True, mix="storm_legacy")
+        again = run_one(7, hardened=True, mix="storm_legacy",
+                        config=replace(_config(True, "storm_legacy"),
+                                       data_quorum=1))
         assert golden.digest == again.digest
         assert golden.telemetry_ops == again.telemetry_ops
+
+
+class TestGoldenDigests:
+    """Pinned per-seed digests: the cross-PR reproducibility contract.
+
+    ``storm_legacy`` must replay the pre-quorum storm trajectory
+    bit-for-bit (these are the storm goldens as pinned before the
+    canonical mix flipped to ``data_quorum=2``); ``storm`` pins the new
+    dq=2 deployment.  Any engine-kernel layout (``engine_shards`` /
+    ``engine_bucket_width``) must reproduce the same digests — sharding
+    is a queue-locality knob, never a semantics knob (docs/MODEL.md §13).
+    """
+
+    LEGACY = {
+        3: "bb73d533b0c673d2ebe96de49e4550aea0c8bc0155743bd51771b41dacdf1945",
+        7: "de2cd27147151297e1a265760b090d5d8f36eb3c89ddbf57ead5d19ffd869eb2",
+        11: "6661a0db52c8d70325e4fe42e27c089d718f3975909d72699ae754d1d775c96f",
+    }
+    LEGACY_BASELINE_3 = (
+        "e3dff9758e0066da4a548db069d2a784458bc6b7fc8229ed37692bd0b4a5c4b2")
+    STORM_DQ2 = {
+        3: "bc45a6b14cc4023d17a2c632aef631b29d33d8a87da97b3b363c5b51b39ff591",
+        7: "f5f8517d79743b0c9f9bbf84c8b59ba4ddb59122bd7e1dee0f229caf587a8eb4",
+        11: "d5f5d9b4906f5c60817dea6350b3934a332e667967f5bf0e4df5033ded735d98",
+    }
+
+    def test_storm_legacy_replays_pre_quorum_goldens(self):
+        for seed, want in self.LEGACY.items():
+            got = run_one(seed, hardened=True, mix="storm_legacy").digest
+            assert got == want, f"seed {seed}: {got}"
+        got = run_one(3, hardened=False, mix="storm_legacy").digest
+        assert got == self.LEGACY_BASELINE_3
+
+    def test_canonical_storm_dq2_goldens(self):
+        for seed, want in self.STORM_DQ2.items():
+            got = run_one(seed, hardened=True, mix="storm").digest
+            assert got == want, f"seed {seed}: {got}"
+
+    def test_engine_layout_invariant(self):
+        # One pinned seed per mix under a sharded engine and a sharded
+        # calendar-queue engine: the merged (time, seq) dispatch order
+        # must be bit-identical to the single-queue goldens.
+        for kw in ({"engine_shards": 4},
+                   {"engine_shards": 3, "engine_bucket_width": 0.01}):
+            cfg = replace(_config(True, "storm"), **kw)
+            got = run_one(7, hardened=True, mix="storm", config=cfg).digest
+            assert got == self.STORM_DQ2[7], f"{kw}: {got}"
+        cfg = replace(_config(True, "storm_legacy"), engine_shards=4)
+        got = run_one(7, hardened=True, mix="storm_legacy",
+                      config=cfg).digest
+        assert got == self.LEGACY[7]
